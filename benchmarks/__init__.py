@@ -1,0 +1,10 @@
+"""Benchmark harness regenerating every table and figure of the paper's evaluation.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+Each module reproduces one table or figure (see DESIGN.md's per-experiment
+index) and prints the same rows/series the paper reports, using simulated
+device time.  EXPERIMENTS.md records paper-vs-measured values.
+"""

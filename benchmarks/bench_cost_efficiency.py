@@ -1,0 +1,85 @@
+"""§1 / §7.5: hash operations per second per dollar.
+
+The paper's economic argument: a ~$400 CLAM delivers ~42 lookups/s/$ and
+~420 inserts/s/$, versus ~2.5 ops/s/$ for a RamSan DRAM-SSD and a fraction
+of an op/s/$ for disk-based Berkeley-DB.  This bench measures the CLAM's
+latencies on the simulator, folds in the paper's device prices and prints
+the comparison.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import print_table, retention_window, standard_config
+from repro.analysis import PAPER_PRICING, cost_efficiency_table
+from repro.analysis.cost_efficiency import ops_per_second_from_latency
+from repro.baselines import ExternalHashIndex
+from repro.core import CLAM
+from repro.flashsim import MagneticDisk, SimulationClock
+from repro.workloads import WorkloadRunner, WorkloadSpec, build_lookup_then_insert_workload
+
+NUM_KEYS = 8_000
+
+
+def run_cost_efficiency():
+    config = standard_config()
+    spec = WorkloadSpec(
+        num_keys=NUM_KEYS,
+        target_lsr=0.4,
+        recency_window=retention_window(config),
+        seed=61,
+    )
+    operations = build_lookup_then_insert_workload(spec)
+
+    clam = CLAM(config, storage="intel-ssd")
+    clam_report = WorkloadRunner(clam).run(operations)
+
+    bdb = ExternalHashIndex(MagneticDisk(clock=SimulationClock()), cache_pages=32)
+    bdb_report = WorkloadRunner(bdb).run(operations, max_operations=4_000)
+
+    entries = cost_efficiency_table(
+        measured_latencies_ms={
+            "clam-intel": clam_report.mean_lookup_latency_ms,
+            "disk-bdb": bdb_report.mean_lookup_latency_ms,
+        },
+        fixed_ops_per_second={"ramsan-dram-ssd": 300_000, "violin-dram": 200_000},
+    )
+    return {
+        "entries": entries,
+        "clam_lookup_ms": clam_report.mean_lookup_latency_ms,
+        "clam_insert_ms": clam_report.mean_insert_latency_ms,
+    }
+
+
+def test_cost_efficiency_comparison(benchmark):
+    results = benchmark.pedantic(run_cost_efficiency, rounds=1, iterations=1)
+    entries = results["entries"]
+
+    print_table(
+        "Hash operations per second per dollar",
+        ["platform", "ops/s", "device cost ($)", "ops/s/$"],
+        [
+            (entry.platform, entry.ops_per_second, entry.cost_dollars, entry.ops_per_second_per_dollar)
+            for entry in entries
+        ],
+    )
+    clam_cost = PAPER_PRICING["clam-intel"].cost_dollars
+    lookups_per_dollar = ops_per_second_from_latency(results["clam_lookup_ms"]) / clam_cost
+    inserts_per_dollar = ops_per_second_from_latency(results["clam_insert_ms"]) / clam_cost
+    print(
+        "CLAM lookups/s/$ = %.1f, inserts/s/$ = %.1f (paper: 42 and 420)"
+        % (lookups_per_dollar, inserts_per_dollar)
+    )
+
+    by_platform = {entry.platform: entry for entry in entries}
+    clam = by_platform[PAPER_PRICING["clam-intel"].name]
+    ramsan = by_platform[PAPER_PRICING["ramsan-dram-ssd"].name]
+    disk = by_platform[PAPER_PRICING["disk-bdb"].name]
+
+    # The CLAM is 1-2 orders of magnitude better than the DRAM-SSD appliance.
+    assert clam.ops_per_second_per_dollar > 10 * ramsan.ops_per_second_per_dollar
+    # And far better than disk-based BDB despite the disk being cheap.
+    assert clam.ops_per_second_per_dollar > 5 * disk.ops_per_second_per_dollar
+    # Absolute figures of merit are in the paper's ballpark (tens of
+    # lookups/s/$, hundreds of inserts/s/$).
+    assert lookups_per_dollar > 10
+    assert inserts_per_dollar > 100

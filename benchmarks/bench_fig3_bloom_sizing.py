@@ -1,0 +1,61 @@
+"""Figure 3: expected lookup I/O overhead vs total Bloom-filter size.
+
+The paper plots the §6.2 analytical expectation for 32 GB and 64 GB of flash
+with 32-byte effective entries: overhead falls steeply as Bloom memory grows
+and flattens past ~1 GB.  This bench regenerates both series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import print_table
+from repro.analysis.cost_model import INTEL_SSD_COSTS, sweep_lookup_overhead
+
+GB = 1024**3
+MB = 1024**2
+
+BLOOM_SIZES_MB = [10, 50, 100, 250, 500, 1000, 2000, 5000, 10_000]
+
+
+def run_figure3():
+    series = {}
+    for flash_gb in (32, 64):
+        rows = sweep_lookup_overhead(
+            INTEL_SSD_COSTS,
+            flash_bytes=flash_gb * GB,
+            bloom_sizes_bytes=[size * MB for size in BLOOM_SIZES_MB],
+            entry_size_bytes=32.0,
+        )
+        series[flash_gb] = rows
+    return series
+
+
+def test_fig3_bloom_filter_sizing(benchmark):
+    series = benchmark.pedantic(run_figure3, rounds=1, iterations=1)
+
+    rows = []
+    for size_mb, row32, row64 in zip(BLOOM_SIZES_MB, series[32], series[64]):
+        rows.append(
+            (size_mb, row32["expected_io_overhead_ms"], row64["expected_io_overhead_ms"])
+        )
+    print_table(
+        "Figure 3: expected I/O overhead vs Bloom filter size",
+        ["bloom size (MB)", "F=32GB overhead (ms)", "F=64GB overhead (ms)"],
+        rows,
+    )
+
+    overheads_32 = [row["expected_io_overhead_ms"] for row in series[32]]
+    overheads_64 = [row["expected_io_overhead_ms"] for row in series[64]]
+    # Overhead decreases monotonically with Bloom memory (both curves).
+    assert all(a >= b for a, b in zip(overheads_32, overheads_32[1:]))
+    assert all(a >= b for a, b in zip(overheads_64, overheads_64[1:]))
+    # 64 GB of flash needs more Bloom memory than 32 GB for the same overhead.
+    assert all(o64 >= o32 for o32, o64 in zip(overheads_32, overheads_64))
+    # The paper's worked example: ~1 GB of filters keeps overhead below 1 ms at 32 GB.
+    at_1gb = dict(zip(BLOOM_SIZES_MB, overheads_32))[1000]
+    assert at_1gb < 1.0
+    # Diminishing returns: going from 1 GB to 10 GB buys much less than 100 MB to 1 GB.
+    improvement_early = dict(zip(BLOOM_SIZES_MB, overheads_32))[100] - at_1gb
+    improvement_late = at_1gb - dict(zip(BLOOM_SIZES_MB, overheads_32))[10_000]
+    assert improvement_early > improvement_late

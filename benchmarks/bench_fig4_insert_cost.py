@@ -1,0 +1,75 @@
+"""Figure 4: amortised and worst-case insertion cost vs per-super-table buffer size.
+
+Four panels in the paper: (a) average and (b) worst-case cost on a raw flash
+chip, (c) average and (d) worst-case cost on an Intel SSD.  The flash-chip
+curves bottom out when the buffer matches the flash block size; on the SSD a
+larger buffer keeps lowering the amortised cost but raises the worst case.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import print_table
+from repro.analysis.cost_model import (
+    FLASH_CHIP_COSTS,
+    INTEL_SSD_COSTS,
+    sweep_insert_cost,
+)
+
+KB = 1024
+
+BUFFER_SIZES_KB = [1, 4, 16, 64, 128, 256, 1024, 4096, 16_384]
+
+
+def run_figure4():
+    sizes = [size * KB for size in BUFFER_SIZES_KB]
+    return {
+        "chip": sweep_insert_cost(FLASH_CHIP_COSTS, sizes, entry_size_bytes=16),
+        "ssd": sweep_insert_cost(INTEL_SSD_COSTS, sizes, entry_size_bytes=16),
+    }
+
+
+def test_fig4_insert_cost_vs_buffer_size(benchmark):
+    results = benchmark.pedantic(run_figure4, rounds=1, iterations=1)
+
+    rows = []
+    for size_kb, chip_row, ssd_row in zip(BUFFER_SIZES_KB, results["chip"], results["ssd"]):
+        rows.append(
+            (
+                size_kb,
+                chip_row["amortized_ms"],
+                chip_row["worst_case_ms"],
+                ssd_row["amortized_ms"],
+                ssd_row["worst_case_ms"],
+            )
+        )
+    print_table(
+        "Figure 4: insertion cost vs buffer size",
+        [
+            "buffer (KB)",
+            "chip avg (ms)",
+            "chip worst (ms)",
+            "SSD avg (ms)",
+            "SSD worst (ms)",
+        ],
+        rows,
+    )
+
+    chip_avg = [row["amortized_ms"] for row in results["chip"]]
+    ssd_avg = [row["amortized_ms"] for row in results["ssd"]]
+    ssd_worst = [row["worst_case_ms"] for row in results["ssd"]]
+    block_kb = FLASH_CHIP_COSTS.block_size // KB
+
+    # (a) The flash-chip amortised cost drops sharply up to the block size and
+    # is essentially flat beyond it: the block size is the knee of the curve.
+    at_block = chip_avg[BUFFER_SIZES_KB.index(block_kb)]
+    assert chip_avg[BUFFER_SIZES_KB.index(16)] > 2 * at_block
+    assert min(chip_avg) > 0.85 * at_block
+    # (c) On the SSD, larger buffers keep reducing the amortised cost.
+    assert ssd_avg[-1] < ssd_avg[0]
+    # (d) ...but increase the worst-case (flush) latency.
+    assert ssd_worst[-1] > ssd_worst[BUFFER_SIZES_KB.index(128)]
+    # The paper's chosen operating point (128 KB buffers) gives ~microsecond
+    # amortised inserts and a worst case of a few milliseconds on the SSD.
+    at_128 = BUFFER_SIZES_KB.index(128)
+    assert ssd_avg[at_128] < 0.01
+    assert ssd_worst[at_128] < 10.0

@@ -1,0 +1,102 @@
+"""Figure 5: spurious lookup rate vs memory allocated to buffers.
+
+The paper fixes total DRAM (4 GB) and varies how much of it goes to buffers
+versus Bloom filters, measuring the spurious (false-positive) lookup rate on
+the real data structure.  The curve is U-shaped-ish with a broad flat
+optimum: very small buffers mean many incarnations (more filters to be wrong
+about), very large buffers starve the Bloom filters.
+
+This bench reproduces the measurement at laptop scale: a fixed simulated DRAM
+budget is split between buffers and Bloom filters across several
+configurations, each runs a miss-only workload (0 % LSR), and the fraction of
+lookups that touched flash at all is the spurious rate.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import print_table
+from repro.core import CLAM, CLAMConfig
+from repro.workloads import WorkloadRunner, WorkloadSpec, build_lookup_then_insert_workload
+
+#: Total simulated DRAM budget (bits) split between buffers and Bloom filters.
+TOTAL_MEMORY_BITS = 2_000_000
+NUM_SUPER_TABLES = 8
+INCARNATIONS = 8
+ENTRY_BITS = 16 * 8
+
+#: Fractions of the DRAM budget given to buffers.
+BUFFER_FRACTIONS = [0.02, 0.05, 0.1, 0.2, 0.4, 0.7, 0.9]
+
+
+def _config_for(buffer_fraction: float) -> CLAMConfig:
+    buffer_bits_total = TOTAL_MEMORY_BITS * buffer_fraction
+    bloom_bits_total = TOTAL_MEMORY_BITS - buffer_bits_total
+    # Buffer capacity per super table implied by the buffer allocation
+    # (entries live in cuckoo slots at 50 % utilisation).
+    capacity = max(8, int(buffer_bits_total / (NUM_SUPER_TABLES * ENTRY_BITS * 2)))
+    total_entries_on_flash = capacity * NUM_SUPER_TABLES * INCARNATIONS
+    bloom_bits_per_entry = max(0.5, bloom_bits_total / total_entries_on_flash)
+    return CLAMConfig.scaled(
+        num_super_tables=NUM_SUPER_TABLES,
+        buffer_capacity_items=capacity,
+        incarnations_per_table=INCARNATIONS,
+        bloom_bits_per_entry=bloom_bits_per_entry,
+    )
+
+
+def _spurious_rate(config: CLAMConfig) -> float:
+    clam = CLAM(config, storage="intel-ssd")
+    capacity = config.total_items_capacity(INCARNATIONS)
+    spec = WorkloadSpec(
+        num_keys=int(capacity * 1.5),
+        target_lsr=0.0,  # every lookup targets a key never inserted
+        recency_window=max(64, capacity // 2),
+        seed=5,
+    )
+    operations = build_lookup_then_insert_workload(spec)
+    report = WorkloadRunner(clam).run(operations)
+    spurious = sum(1 for reads in report.lookup_flash_reads if reads > 0)
+    return spurious / max(1, len(report.lookup_flash_reads))
+
+
+def run_figure5():
+    results = []
+    for fraction in BUFFER_FRACTIONS:
+        config = _config_for(fraction)
+        results.append(
+            {
+                "buffer_fraction": fraction,
+                "buffer_capacity": config.buffer_capacity_items,
+                "bloom_bits_per_entry": config.bloom_bits_per_entry,
+                "spurious_rate": _spurious_rate(config),
+            }
+        )
+    return results
+
+
+def test_fig5_spurious_rate_vs_buffer_allocation(benchmark):
+    results = benchmark.pedantic(run_figure5, rounds=1, iterations=1)
+
+    print_table(
+        "Figure 5: spurious lookup rate vs memory allocated to buffers",
+        ["buffer fraction", "buffer items/table", "bloom bits/entry", "spurious rate"],
+        [
+            (
+                row["buffer_fraction"],
+                row["buffer_capacity"],
+                row["bloom_bits_per_entry"],
+                row["spurious_rate"],
+            )
+            for row in results
+        ],
+    )
+
+    rates = [row["spurious_rate"] for row in results]
+    # Starving the Bloom filters (too much memory on buffers) must hurt:
+    # the right edge of the sweep is clearly worse than the best point.
+    assert rates[-1] > min(rates) + 0.01
+    # The well-provisioned middle of the sweep achieves a very low spurious
+    # rate, comparable to the paper's 1e-4..1e-2 range.
+    assert min(rates) < 0.02
+    # The optimum is interior or at least not at the Bloom-starved extreme.
+    assert rates.index(min(rates)) < len(rates) - 1

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Parameter-tuning advisor (§6.4 of the paper).
+
+Given a DRAM budget, a flash budget and a device type, print the recommended
+CLAM configuration — how to split DRAM between buffers and Bloom filters, how
+many super tables to create — together with the analytical insertion and
+lookup costs that configuration implies.
+
+Run with::
+
+    python examples/tuning_advisor.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    FLASH_CHIP_COSTS,
+    INTEL_SSD_COSTS,
+    TRANSCEND_SSD_COSTS,
+    required_bloom_bits,
+    tune,
+)
+
+GB = 1024**3
+MB = 1024**2
+
+
+def _human(size_bytes: float) -> str:
+    if size_bytes >= GB:
+        return f"{size_bytes / GB:.2f} GB"
+    if size_bytes >= MB:
+        return f"{size_bytes / MB:.1f} MB"
+    return f"{size_bytes / 1024:.1f} KB"
+
+
+def advise(name: str, params, flash_bytes: float, memory_bytes: float) -> None:
+    report = tune(
+        params,
+        flash_bytes=flash_bytes,
+        memory_bytes=memory_bytes,
+        entry_size_bytes=32,  # 16-byte entries at 50% table utilisation, as in §6.4
+        max_worst_case_insert_ms=5.0,
+    )
+    print(f"--- {name}: {_human(flash_bytes)} flash, {_human(memory_bytes)} DRAM ---")
+    print(f"buffers total:        {_human(report.buffer_total_bytes)}")
+    print(f"Bloom filters total:  {_human(report.bloom_total_bytes)}")
+    print(f"per-buffer size:      {_human(report.per_buffer_bytes)}")
+    print(f"super tables:         {report.num_super_tables:,}")
+    print(f"incarnations/table:   {report.incarnations_per_table:.0f}")
+    print(f"amortised insert:     {report.amortized_insert_ms * 1000:.2f} us")
+    print(f"worst-case insert:    {report.worst_case_insert_ms:.2f} ms")
+    print(f"expected lookup I/O:  {report.expected_lookup_io_ms:.3f} ms")
+    bloom_for_1ms = required_bloom_bits(params, flash_bytes, 1.0, 32) / 8
+    print(f"Bloom memory for <1ms lookup overhead: {_human(bloom_for_1ms)}")
+    print()
+
+
+def main() -> None:
+    # The paper's configuration: 4 GB DRAM and 32 GB of flash (§7.1.1).
+    advise("Intel SSD (paper config)", INTEL_SSD_COSTS, 32 * GB, 4 * GB)
+    # A cheaper, slower SSD with the same budgets.
+    advise("Transcend SSD (paper config)", TRANSCEND_SSD_COSTS, 32 * GB, 4 * GB)
+    # A raw flash chip in an embedded-style deployment.
+    advise("Raw flash chip", FLASH_CHIP_COSTS, 8 * GB, 1 * GB)
+    # A larger, next-generation deployment (the 100 GB+ tables of §1).
+    advise("Intel SSD (128 GB index)", INTEL_SSD_COSTS, 128 * GB, 8 * GB)
+
+
+if __name__ == "__main__":
+    main()

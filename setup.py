@@ -1,0 +1,10 @@
+"""Setup shim so that editable installs work without the 'wheel' package.
+
+The environment has no network access and no `wheel` distribution, so PEP 660
+editable installs (which need to build a wheel) fail.  `python setup.py
+develop` / `pip install -e . --no-build-isolation` with this shim falls back
+to the classic setuptools develop path.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""repro: reproduction of "Cheap and Large CAMs for High Performance
+Data-Intensive Networked Systems" (BufferHash / CLAM, NSDI 2010).
+
+Subpackages
+-----------
+``repro.core``
+    BufferHash and the CLAM facade (the paper's contribution).
+``repro.flashsim``
+    Simulated flash chips, SSDs, magnetic disks and DRAM.
+``repro.baselines``
+    Berkeley-DB-style external hash/B-tree indexes and other comparison points.
+``repro.analysis``
+    The paper's §6 analytical cost models and parameter tuning.
+``repro.workloads``
+    Key/workload generators and the workload runner used by the evaluation.
+``repro.wanopt``
+    The WAN optimizer application (§8): chunking, fingerprint index, link model.
+``repro.dedup``
+    Data-deduplication index and index-merge experiment (§3).
+``repro.directory``
+    Content-name resolution directory backed by a CLAM (§3).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

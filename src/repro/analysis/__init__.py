@@ -1,0 +1,53 @@
+"""Analytical models from §6 of the paper and the cost-efficiency comparison.
+
+* :mod:`repro.analysis.cost_model` — closed-form insertion and lookup cost
+  equations (Figures 3 and 4).
+* :mod:`repro.analysis.tuning` — optimal buffer size, Bloom-filter sizing and
+  super-table count selection (§6.4).
+* :mod:`repro.analysis.cost_efficiency` — hash operations per second per
+  dollar for CLAMs, DRAM-SSDs and disk-based indexes (§1, §7.5).
+"""
+
+from repro.analysis.cost_model import (
+    FlashCostParameters,
+    FLASH_CHIP_COSTS,
+    INTEL_SSD_COSTS,
+    TRANSCEND_SSD_COSTS,
+    amortized_insert_cost_ms,
+    worst_case_insert_cost_ms,
+    expected_lookup_io_cost_ms,
+    bloom_false_positive_probability,
+)
+from repro.analysis.tuning import (
+    optimal_buffer_bytes,
+    required_bloom_bits,
+    recommended_super_tables,
+    TuningReport,
+    tune,
+)
+from repro.analysis.cost_efficiency import (
+    DevicePricing,
+    CostEfficiencyEntry,
+    cost_efficiency_table,
+    PAPER_PRICING,
+)
+
+__all__ = [
+    "FlashCostParameters",
+    "FLASH_CHIP_COSTS",
+    "INTEL_SSD_COSTS",
+    "TRANSCEND_SSD_COSTS",
+    "amortized_insert_cost_ms",
+    "worst_case_insert_cost_ms",
+    "expected_lookup_io_cost_ms",
+    "bloom_false_positive_probability",
+    "optimal_buffer_bytes",
+    "required_bloom_bits",
+    "recommended_super_tables",
+    "TuningReport",
+    "tune",
+    "DevicePricing",
+    "CostEfficiencyEntry",
+    "cost_efficiency_table",
+    "PAPER_PRICING",
+]

@@ -1,0 +1,96 @@
+"""BufferHash and CLAM: the paper's primary contribution.
+
+Quick start::
+
+    from repro.core import CLAM, CLAMConfig
+
+    clam = CLAM(CLAMConfig.scaled(), storage="intel-ssd")
+    clam.insert(b"fingerprint-1", b"chunk-address-1")
+    result = clam.lookup(b"fingerprint-1")
+    assert result.value == b"chunk-address-1"
+    print(result.latency_ms, "simulated ms")
+"""
+
+from repro.core.bloom import BloomFilter, false_positive_rate, optimal_num_hashes
+from repro.core.bufferhash import BufferHash
+from repro.core.buffer import Buffer
+from repro.core.clam import CLAM, build_device, STORAGE_PROFILES
+from repro.core.config import CLAMConfig, MemoryCostModel
+from repro.core.cuckoo import CuckooHashTable
+from repro.core.errors import (
+    BufferHashError,
+    CapacityError,
+    ConfigurationError,
+    KeyTooLargeError,
+)
+from repro.core.eviction import (
+    EvictionContext,
+    EvictionPolicy,
+    FIFOEviction,
+    LRUEviction,
+    PriorityBasedEviction,
+    UpdateBasedEviction,
+    make_policy,
+)
+from repro.core.hashing import hash_key, to_key_bytes
+from repro.core.incarnation import IncarnationHandle, build_pages, search_page
+from repro.core.results import (
+    DeleteResult,
+    FlushResult,
+    InsertResult,
+    LookupResult,
+    OperationStats,
+    ServedFrom,
+)
+from repro.core.sliced_bloom import BitSlicedBloomArray
+from repro.core.storage import (
+    IncarnationStore,
+    MultiDeviceLogStore,
+    PartitionedChipStore,
+    PartitionedDeviceStore,
+    WholeDeviceLogStore,
+)
+from repro.core.supertable import SuperTable
+
+__all__ = [
+    "BloomFilter",
+    "false_positive_rate",
+    "optimal_num_hashes",
+    "BufferHash",
+    "Buffer",
+    "CLAM",
+    "build_device",
+    "STORAGE_PROFILES",
+    "CLAMConfig",
+    "MemoryCostModel",
+    "CuckooHashTable",
+    "BufferHashError",
+    "CapacityError",
+    "ConfigurationError",
+    "KeyTooLargeError",
+    "EvictionContext",
+    "EvictionPolicy",
+    "FIFOEviction",
+    "LRUEviction",
+    "PriorityBasedEviction",
+    "UpdateBasedEviction",
+    "make_policy",
+    "hash_key",
+    "to_key_bytes",
+    "IncarnationHandle",
+    "build_pages",
+    "search_page",
+    "DeleteResult",
+    "FlushResult",
+    "InsertResult",
+    "LookupResult",
+    "OperationStats",
+    "ServedFrom",
+    "BitSlicedBloomArray",
+    "IncarnationStore",
+    "MultiDeviceLogStore",
+    "PartitionedChipStore",
+    "PartitionedDeviceStore",
+    "WholeDeviceLogStore",
+    "SuperTable",
+]

@@ -1,0 +1,120 @@
+"""Plain Bloom filter, one per incarnation.
+
+A super table keeps one Bloom filter per on-flash incarnation (§5.1 of the
+paper).  The filter is built while items are inserted into the in-memory
+buffer; when the buffer is flushed, the filter becomes the signature of the
+new incarnation and is retained in DRAM until that incarnation is evicted.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.core.hashing import KeyLike, double_hashes
+
+
+def optimal_num_hashes(bits_per_item: float) -> int:
+    """Number of hash functions minimising false positives: ``m/n * ln 2``."""
+    if bits_per_item <= 0:
+        raise ValueError("bits_per_item must be positive")
+    return max(1, round(bits_per_item * math.log(2)))
+
+
+def false_positive_rate(num_bits: int, num_items: int, num_hashes: int) -> float:
+    """Theoretical false-positive probability of a Bloom filter."""
+    if num_bits <= 0:
+        raise ValueError("num_bits must be positive")
+    if num_items < 0:
+        raise ValueError("num_items must be non-negative")
+    if num_hashes <= 0:
+        raise ValueError("num_hashes must be positive")
+    if num_items == 0:
+        return 0.0
+    fill = 1.0 - math.exp(-num_hashes * num_items / num_bits)
+    return fill ** num_hashes
+
+
+class BloomFilter:
+    """A fixed-size Bloom filter over arbitrary keys.
+
+    The bit array is held as a single Python integer, which keeps membership
+    tests cheap and makes the filter trivially copyable when it is "frozen"
+    alongside a flushed incarnation.
+    """
+
+    __slots__ = ("num_bits", "num_hashes", "_bits", "_count")
+
+    def __init__(self, num_bits: int, num_hashes: int) -> None:
+        if num_bits <= 0:
+            raise ValueError("num_bits must be positive")
+        if num_hashes <= 0:
+            raise ValueError("num_hashes must be positive")
+        self.num_bits = num_bits
+        self.num_hashes = num_hashes
+        self._bits = 0
+        self._count = 0
+
+    @classmethod
+    def for_capacity(cls, capacity: int, bits_per_item: float = 16.0) -> "BloomFilter":
+        """Build a filter sized for ``capacity`` items at ``bits_per_item``."""
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        num_bits = max(8, int(capacity * bits_per_item))
+        return cls(num_bits=num_bits, num_hashes=optimal_num_hashes(bits_per_item))
+
+    @property
+    def item_count(self) -> int:
+        """Number of keys added so far."""
+        return self._count
+
+    def bit_positions(self, key: KeyLike) -> list[int]:
+        """The bit indices this key maps to."""
+        return double_hashes(key, self.num_hashes, self.num_bits)
+
+    def add(self, key: KeyLike) -> None:
+        """Insert a key into the filter."""
+        for position in self.bit_positions(key):
+            self._bits |= 1 << position
+        self._count += 1
+
+    def update(self, keys: Iterable[KeyLike]) -> None:
+        """Insert many keys."""
+        for key in keys:
+            self.add(key)
+
+    def __contains__(self, key: KeyLike) -> bool:
+        for position in self.bit_positions(key):
+            if not (self._bits >> position) & 1:
+                return False
+        return True
+
+    def may_contain(self, key: KeyLike) -> bool:
+        """Alias of ``key in filter`` for readability at call sites."""
+        return key in self
+
+    def expected_false_positive_rate(self) -> float:
+        """Theoretical false-positive rate at the current fill level."""
+        return false_positive_rate(self.num_bits, self._count, self.num_hashes)
+
+    def fill_fraction(self) -> float:
+        """Fraction of bits set (useful in tests and diagnostics)."""
+        return bin(self._bits).count("1") / self.num_bits
+
+    def clear(self) -> None:
+        """Reset the filter to empty."""
+        self._bits = 0
+        self._count = 0
+
+    def copy(self) -> "BloomFilter":
+        """An independent copy (used when freezing the buffer's filter)."""
+        clone = BloomFilter(self.num_bits, self.num_hashes)
+        clone._bits = self._bits
+        clone._count = self._count
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BloomFilter(num_bits={self.num_bits}, num_hashes={self.num_hashes}, "
+            f"items={self._count})"
+        )

@@ -1,0 +1,96 @@
+"""In-memory buffer of a super table.
+
+The buffer is a small cuckoo hash table plus the Bloom filter that will be
+frozen as the next incarnation's signature.  All newly inserted values land
+here; the super table flushes the buffer to flash when it reaches its
+configured capacity (§5.1, "Buffer").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.bloom import BloomFilter, optimal_num_hashes
+from repro.core.cuckoo import CuckooHashTable
+from repro.core.errors import CapacityError
+
+
+class Buffer:
+    """Bounded in-memory staging area for one super table."""
+
+    def __init__(
+        self,
+        capacity_items: int,
+        num_slots: int,
+        bloom_bits: int,
+        bloom_hashes: Optional[int] = None,
+    ) -> None:
+        if capacity_items <= 0:
+            raise ValueError("capacity_items must be positive")
+        if num_slots < capacity_items:
+            raise ValueError("num_slots must be at least capacity_items")
+        self.capacity_items = capacity_items
+        self.num_slots = num_slots
+        self.bloom_bits = bloom_bits
+        if bloom_hashes is None:
+            bloom_hashes = optimal_num_hashes(bloom_bits / max(1, capacity_items))
+        self.bloom_hashes = bloom_hashes
+        self._table = CuckooHashTable(num_slots)
+        self._bloom = BloomFilter(bloom_bits, bloom_hashes)
+
+    # -- Introspection ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the buffer has reached its flush threshold."""
+        return len(self._table) >= self.capacity_items
+
+    @property
+    def bloom_filter(self) -> BloomFilter:
+        """The filter accumulating this buffer's keys (frozen at flush time)."""
+        return self._bloom
+
+    def items(self) -> Dict[bytes, bytes]:
+        """Snapshot of the buffer's contents."""
+        return dict(self._table.items())
+
+    # -- Operations ----------------------------------------------------------------
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Value stored for ``key`` in the buffer, or ``None``."""
+        return self._table.get(key)
+
+    def put(self, key: bytes, value: bytes) -> bool:
+        """Insert or update ``key``.
+
+        Returns ``True`` on success and ``False`` when the buffer cannot take
+        the item (either it is at capacity or the cuckoo path cycled); the
+        caller should flush and retry.
+        """
+        if self.is_full and self._table.get(key) is None:
+            return False
+        try:
+            self._table.put(key, value)
+        except CapacityError:
+            return False
+        self._bloom.add(key)
+        return True
+
+    def delete(self, key: bytes) -> bool:
+        """Remove ``key`` from the buffer (Bloom bits are left set; they only
+        cause a harmless false positive)."""
+        return self._table.delete(key)
+
+    def drain(self) -> Tuple[Dict[bytes, bytes], BloomFilter]:
+        """Return the buffer contents and frozen Bloom filter, then reset.
+
+        Called by the super table when it flushes the buffer to flash.
+        """
+        items = dict(self._table.items())
+        frozen = self._bloom.copy()
+        self._table.clear()
+        self._bloom.clear()
+        return items, frozen

@@ -1,0 +1,157 @@
+"""Cuckoo hash table used for the in-memory buffer of a super table.
+
+The paper's implementation (§7.1) builds each buffer with cuckoo hashing and
+two hash functions because it utilises space well and avoids chaining.  This
+implementation uses the standard bucketised variant — two candidate buckets
+per key, four slots per bucket — which sustains load factors well above the
+50 % utilisation the paper runs buffers at, even for the small tables used in
+scaled-down experiments.  If an insertion's displacement path exceeds a bound
+the table restores its previous state and reports failure; the buffer treats
+that the same as "full" and triggers a flush.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.errors import CapacityError
+from repro.core.hashing import hash_key
+
+
+@dataclass
+class _Entry:
+    key: bytes
+    value: bytes
+
+
+class CuckooHashTable:
+    """Fixed-capacity cuckoo hash table mapping ``bytes`` keys to ``bytes`` values."""
+
+    #: Slots per bucket (standard bucketised cuckoo hashing).
+    SLOTS_PER_BUCKET = 4
+    #: Maximum number of displacements attempted before declaring the table full.
+    MAX_DISPLACEMENTS = 128
+
+    def __init__(self, num_slots: int) -> None:
+        if num_slots <= 0:
+            raise ValueError("num_slots must be positive")
+        self.num_buckets = max(2, -(-num_slots // self.SLOTS_PER_BUCKET))
+        self.num_slots = self.num_buckets * self.SLOTS_PER_BUCKET
+        # Fixed-size buckets: a slot is either an _Entry or None.
+        self._buckets: List[List[Optional[_Entry]]] = [
+            [None] * self.SLOTS_PER_BUCKET for _ in range(self.num_buckets)
+        ]
+        self._size = 0
+
+    # -- Hashing ---------------------------------------------------------------
+
+    def _buckets_for(self, key: bytes) -> Tuple[int, int]:
+        first = hash_key(key, seed=0xA11CE) % self.num_buckets
+        second = hash_key(key, seed=0xB0B) % self.num_buckets
+        if second == first:
+            second = (second + 1) % self.num_buckets
+        return first, second
+
+    # -- Read operations ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.get(key) is not None
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Value stored for ``key``, or ``None`` if absent."""
+        for bucket_index in self._buckets_for(key):
+            for entry in self._buckets[bucket_index]:
+                if entry is not None and entry.key == key:
+                    return entry.value
+        return None
+
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        """Iterate over all (key, value) pairs in bucket order."""
+        for bucket in self._buckets:
+            for entry in bucket:
+                if entry is not None:
+                    yield entry.key, entry.value
+
+    def load_factor(self) -> float:
+        """Fraction of slots occupied."""
+        return self._size / self.num_slots
+
+    # -- Write operations ---------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or update ``key``.
+
+        Raises
+        ------
+        CapacityError
+            If the displacement path exceeds :data:`MAX_DISPLACEMENTS`; the
+            table is left exactly as it was and the caller should flush and
+            retry.
+        """
+        first, second = self._buckets_for(key)
+        # In-place update if the key already exists.
+        for bucket_index in (first, second):
+            for entry in self._buckets[bucket_index]:
+                if entry is not None and entry.key == key:
+                    entry.value = value
+                    return
+        # Plain insertion into a bucket with a free slot.
+        for bucket_index in (first, second):
+            slot = self._free_slot(bucket_index)
+            if slot is not None:
+                self._buckets[bucket_index][slot] = _Entry(key, value)
+                self._size += 1
+                return
+        # Both buckets full: displace entries along a bounded path.  Every
+        # write is recorded as (bucket, slot, previous occupant) so the whole
+        # chain can be undone if it never terminates.
+        carried = _Entry(key, value)
+        bucket_index = first
+        history: List[Tuple[int, int, Optional[_Entry]]] = []
+        for step in range(self.MAX_DISPLACEMENTS):
+            free = self._free_slot(bucket_index)
+            if free is not None:
+                self._buckets[bucket_index][free] = carried
+                self._size += 1
+                return
+            victim_slot = step % self.SLOTS_PER_BUCKET
+            victim = self._buckets[bucket_index][victim_slot]
+            history.append((bucket_index, victim_slot, victim))
+            self._buckets[bucket_index][victim_slot] = carried
+            carried = victim  # type: ignore[assignment]  # victim is not None: bucket was full
+            alt_first, alt_second = self._buckets_for(carried.key)
+            bucket_index = alt_second if bucket_index == alt_first else alt_first
+        for bucket_idx, slot_idx, previous in reversed(history):
+            self._buckets[bucket_idx][slot_idx] = previous
+        raise CapacityError(
+            f"cuckoo displacement path exceeded {self.MAX_DISPLACEMENTS} steps "
+            f"at load factor {self.load_factor():.2f}"
+        )
+
+    def _free_slot(self, bucket_index: int) -> Optional[int]:
+        for slot, entry in enumerate(self._buckets[bucket_index]):
+            if entry is None:
+                return slot
+        return None
+
+    def delete(self, key: bytes) -> bool:
+        """Remove ``key``; returns whether it was present."""
+        for bucket_index in self._buckets_for(key):
+            bucket = self._buckets[bucket_index]
+            for slot, entry in enumerate(bucket):
+                if entry is not None and entry.key == key:
+                    bucket[slot] = None
+                    self._size -= 1
+                    return True
+        return False
+
+    def clear(self) -> None:
+        """Remove every entry."""
+        self._buckets = [
+            [None] * self.SLOTS_PER_BUCKET for _ in range(self.num_buckets)
+        ]
+        self._size = 0

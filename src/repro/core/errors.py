@@ -1,0 +1,21 @@
+"""Exception types raised by the BufferHash / CLAM core."""
+
+from __future__ import annotations
+
+
+class BufferHashError(Exception):
+    """Base class for all BufferHash errors."""
+
+
+class CapacityError(BufferHashError):
+    """Raised when a component cannot accept more items (e.g. a full buffer
+    that could not be flushed, or a cuckoo table whose insertion path cycled)."""
+
+
+class ConfigurationError(BufferHashError):
+    """Raised when a CLAM or BufferHash configuration is inconsistent
+    (e.g. buffer larger than a flash partition, zero incarnations)."""
+
+
+class KeyTooLargeError(BufferHashError):
+    """Raised when a key or value does not fit in an incarnation page slot."""

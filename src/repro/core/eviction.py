@@ -1,0 +1,183 @@
+"""Eviction policies for BufferHash incarnations (§5.1.2).
+
+BufferHash evicts at the granularity of a whole incarnation using one of two
+primitives:
+
+* **full discard** — the oldest incarnation is dropped without being read;
+* **partial discard** — the oldest incarnation is read back from flash, a
+  policy selects entries to retain, and those entries are re-inserted into
+  the in-memory buffer (possibly triggering *cascaded* evictions when
+  nothing can be discarded).
+
+Four policies from the paper are provided: FIFO (the default; full discard),
+LRU (full discard plus re-insertion-on-use), update-based and priority-based
+(both partial discard).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+
+@dataclass
+class EvictionContext:
+    """Information a policy may consult while scanning an evicted incarnation.
+
+    Attributes
+    ----------
+    incarnation_id:
+        Identifier of the incarnation being evicted.
+    is_deleted:
+        Callback: has this key been deleted (it is on the delete list)?
+    superseded:
+        Callback: does a newer copy of this key exist (in the buffer or in a
+        newer incarnation, as witnessed by the in-memory Bloom filters)?
+        May return false negatives only with probability equal to the Bloom
+        false-positive rate, exactly as §5.1.2 footnote 2 describes.
+    """
+
+    incarnation_id: int
+    is_deleted: Callable[[bytes], bool]
+    superseded: Callable[[bytes], bool]
+
+
+class EvictionPolicy(abc.ABC):
+    """Strategy deciding what survives when an incarnation is evicted."""
+
+    #: Whether eviction must read the incarnation back from flash (partial discard).
+    requires_scan: bool = False
+    #: Whether items found in flash during lookups are re-inserted into the
+    #: buffer (the LRU emulation of §5.1.2).
+    reinsert_on_use: bool = False
+
+    @abc.abstractmethod
+    def select_retained(
+        self, items: Dict[bytes, bytes], context: EvictionContext
+    ) -> Dict[bytes, bytes]:
+        """Subset of ``items`` that must be re-inserted into the buffer."""
+
+    @property
+    def name(self) -> str:
+        """Short policy name used in configuration and reports."""
+        return type(self).__name__.replace("Eviction", "").lower()
+
+
+class FIFOEviction(EvictionPolicy):
+    """Drop the oldest incarnation wholesale — the paper's default policy."""
+
+    requires_scan = False
+    reinsert_on_use = False
+
+    def select_retained(
+        self, items: Dict[bytes, bytes], context: EvictionContext
+    ) -> Dict[bytes, bytes]:
+        return {}
+
+
+class LRUEviction(EvictionPolicy):
+    """Approximate LRU: full discard, but every flash hit re-inserts the item.
+
+    Recently used items therefore always live in a recent incarnation (or the
+    buffer) and survive the discard of the oldest incarnation, at the cost of
+    duplicate copies on flash and slightly more frequent flushes.
+    """
+
+    requires_scan = False
+    reinsert_on_use = True
+
+    def select_retained(
+        self, items: Dict[bytes, bytes], context: EvictionContext
+    ) -> Dict[bytes, bytes]:
+        return {}
+
+
+class UpdateBasedEviction(EvictionPolicy):
+    """Partial discard keeping only entries that are still live.
+
+    An entry is discarded when it has been deleted or when a newer value for
+    the same key exists; everything else is retained and re-inserted.
+    """
+
+    requires_scan = True
+    reinsert_on_use = False
+
+    def select_retained(
+        self, items: Dict[bytes, bytes], context: EvictionContext
+    ) -> Dict[bytes, bytes]:
+        retained: Dict[bytes, bytes] = {}
+        for key, value in items.items():
+            if context.is_deleted(key):
+                continue
+            if context.superseded(key):
+                continue
+            retained[key] = value
+        return retained
+
+
+class PriorityBasedEviction(EvictionPolicy):
+    """Partial discard keeping entries whose priority clears a threshold.
+
+    Parameters
+    ----------
+    priority_fn:
+        Maps ``(key, value)`` to a numeric priority.
+    threshold:
+        Entries with priority >= threshold are retained.
+    retain_top_k:
+        Optional cap on how many entries may be retained per eviction; the
+        paper suggests this loosened semantics as a way to bound cascaded
+        evictions (§7.4).
+    """
+
+    requires_scan = True
+    reinsert_on_use = False
+
+    def __init__(
+        self,
+        priority_fn: Callable[[bytes, bytes], float],
+        threshold: float,
+        retain_top_k: Optional[int] = None,
+    ) -> None:
+        if retain_top_k is not None and retain_top_k < 0:
+            raise ValueError("retain_top_k must be non-negative")
+        self.priority_fn = priority_fn
+        self.threshold = threshold
+        self.retain_top_k = retain_top_k
+
+    def select_retained(
+        self, items: Dict[bytes, bytes], context: EvictionContext
+    ) -> Dict[bytes, bytes]:
+        scored = [
+            (self.priority_fn(key, value), key, value)
+            for key, value in items.items()
+            if not context.is_deleted(key)
+        ]
+        keep = [(p, k, v) for p, k, v in scored if p >= self.threshold]
+        if self.retain_top_k is not None and len(keep) > self.retain_top_k:
+            keep.sort(key=lambda entry: entry[0], reverse=True)
+            keep = keep[: self.retain_top_k]
+        return {key: value for _priority, key, value in keep}
+
+
+def make_policy(name: str, **kwargs) -> EvictionPolicy:
+    """Factory mapping configuration names to policy instances."""
+    name = name.lower()
+    if name == "fifo":
+        return FIFOEviction()
+    if name == "lru":
+        return LRUEviction()
+    if name == "update":
+        return UpdateBasedEviction()
+    if name == "priority":
+        priority_fn = kwargs.get("priority_fn")
+        threshold = kwargs.get("threshold")
+        if priority_fn is None or threshold is None:
+            raise ValueError("priority policy requires priority_fn and threshold")
+        return PriorityBasedEviction(
+            priority_fn=priority_fn,
+            threshold=threshold,
+            retain_top_k=kwargs.get("retain_top_k"),
+        )
+    raise ValueError(f"unknown eviction policy {name!r}")

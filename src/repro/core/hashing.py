@@ -1,0 +1,88 @@
+"""Deterministic hash functions used by buffers, Bloom filters and partitioning.
+
+Python's built-in :func:`hash` is randomised per process for ``str``/``bytes``
+and therefore unsuitable for a data structure whose on-"flash" layout must be
+deterministic and reproducible across runs.  We use 64-bit FNV-1a with
+per-purpose seeds, which is cheap, has good avalanche behaviour for the short
+fingerprint-style keys the paper targets (32-64 bit hashes of content chunks)
+and needs no dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+_FNV64_OFFSET = 0xCBF29CE484222325
+_FNV64_PRIME = 0x100000001B3
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+KeyLike = Union[bytes, bytearray, memoryview, str, int]
+
+
+def to_key_bytes(key: KeyLike) -> bytes:
+    """Canonical byte representation of a key.
+
+    ``bytes``-like objects are used as-is, strings are UTF-8 encoded and
+    integers are encoded big-endian in the fewest whole bytes that hold them
+    (so distinct integers map to distinct byte strings).
+    """
+    if isinstance(key, (bytes, bytearray, memoryview)):
+        return bytes(key)
+    if isinstance(key, str):
+        return key.encode("utf-8")
+    if isinstance(key, int):
+        if key < 0:
+            raise ValueError("integer keys must be non-negative")
+        length = max(1, (key.bit_length() + 7) // 8)
+        return key.to_bytes(length, "big")
+    raise TypeError(f"unsupported key type: {type(key).__name__}")
+
+
+def _avalanche64(value: int) -> int:
+    """Finalising mix (MurmurHash3 fmix64) spreading entropy into every bit.
+
+    Plain FNV-1a has the property that the low ``k`` bits of the output depend
+    only on the low bits of the state, so two FNV variants with different
+    seeds stay correlated modulo powers of two.  BufferHash takes *several*
+    independent moduli of a key's hashes (super-table partition, cuckoo
+    buckets, Bloom positions, incarnation page); without this finaliser,
+    conditioning on one of them (e.g. all keys of one super table) badly
+    skews the others.
+    """
+    value ^= value >> 33
+    value = (value * 0xFF51AFD7ED558CCD) & _MASK64
+    value ^= value >> 33
+    value = (value * 0xC4CEB9FE1A85EC53) & _MASK64
+    value ^= value >> 33
+    return value
+
+
+def fnv1a_64(data: bytes, seed: int = 0) -> int:
+    """64-bit FNV-1a hash of ``data``, mixed with ``seed`` and finalised."""
+    value = (_FNV64_OFFSET ^ (seed * 0x9E3779B97F4A7C15)) & _MASK64
+    for byte in data:
+        value ^= byte
+        value = (value * _FNV64_PRIME) & _MASK64
+    return _avalanche64(value)
+
+
+def hash_key(key: KeyLike, seed: int = 0) -> int:
+    """64-bit hash of an arbitrary key with the given seed."""
+    return fnv1a_64(to_key_bytes(key), seed)
+
+
+def double_hashes(key: KeyLike, count: int, modulus: int) -> list[int]:
+    """``count`` hash values in ``[0, modulus)`` via double hashing.
+
+    Classic Kirsch-Mitzenmacher construction: two independent base hashes
+    combine linearly to simulate ``count`` independent hash functions, which
+    is what Bloom filters need.
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    if modulus <= 0:
+        raise ValueError("modulus must be positive")
+    data = to_key_bytes(key)
+    h1 = fnv1a_64(data, seed=0x51ED)
+    h2 = fnv1a_64(data, seed=0xC0FFEE) | 1  # odd so it is coprime with power-of-two moduli
+    return [((h1 + i * h2) & _MASK64) % modulus for i in range(count)]

@@ -1,0 +1,138 @@
+"""Result records returned by BufferHash / CLAM operations.
+
+Every operation reports the simulated latency it incurred and how it was
+served, so experiments can build the latency CDFs (Figures 6-8), the flash
+I/O distribution (Table 2) and the per-operation breakdowns (§7.3) without
+instrumenting the data structure from outside.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class ServedFrom(enum.Enum):
+    """Where a lookup was resolved."""
+
+    BUFFER = "buffer"
+    INCARNATION = "incarnation"
+    DELETED = "deleted"
+    MISSING = "missing"
+
+
+@dataclass
+class LookupResult:
+    """Outcome of one lookup."""
+
+    key: bytes
+    value: Optional[bytes]
+    latency_ms: float
+    served_from: ServedFrom
+    flash_reads: int = 0
+    incarnations_checked: int = 0
+    false_positive_reads: int = 0
+
+    @property
+    def found(self) -> bool:
+        """Whether a value was returned."""
+        return self.value is not None
+
+
+@dataclass
+class InsertResult:
+    """Outcome of one insert (or update)."""
+
+    key: bytes
+    latency_ms: float
+    flushed: bool = False
+    flush_latency_ms: float = 0.0
+    incarnations_tried: int = 0
+    flash_writes: int = 0
+    flash_reads: int = 0
+
+
+@dataclass
+class DeleteResult:
+    """Outcome of one delete."""
+
+    key: bytes
+    latency_ms: float
+    removed_from_buffer: bool = False
+
+
+@dataclass
+class FlushResult:
+    """Outcome of flushing a buffer to flash."""
+
+    latency_ms: float = 0.0
+    incarnations_written: int = 0
+    incarnations_evicted: int = 0
+    incarnations_tried: int = 0
+    items_retained: int = 0
+    flash_writes: int = 0
+    flash_reads: int = 0
+    forced_full_discard: bool = False
+
+
+@dataclass
+class OperationStats:
+    """Running aggregates over many operations (maintained by CLAM)."""
+
+    lookups: int = 0
+    lookup_latency_total_ms: float = 0.0
+    lookup_latency_max_ms: float = 0.0
+    lookup_hits: int = 0
+    inserts: int = 0
+    insert_latency_total_ms: float = 0.0
+    insert_latency_max_ms: float = 0.0
+    deletes: int = 0
+    flushes: int = 0
+    evictions: int = 0
+    flash_reads: int = 0
+    flash_writes: int = 0
+    false_positive_reads: int = 0
+    reinsert_latency_total_ms: float = 0.0
+    lookup_latencies_ms: list = field(default_factory=list)
+    insert_latencies_ms: list = field(default_factory=list)
+    keep_samples: bool = True
+
+    def record_lookup(self, result: LookupResult) -> None:
+        self.lookups += 1
+        self.lookup_latency_total_ms += result.latency_ms
+        if result.latency_ms > self.lookup_latency_max_ms:
+            self.lookup_latency_max_ms = result.latency_ms
+        if result.found:
+            self.lookup_hits += 1
+        self.flash_reads += result.flash_reads
+        self.false_positive_reads += result.false_positive_reads
+        if self.keep_samples:
+            self.lookup_latencies_ms.append(result.latency_ms)
+
+    def record_insert(self, result: InsertResult) -> None:
+        self.inserts += 1
+        self.insert_latency_total_ms += result.latency_ms
+        if result.latency_ms > self.insert_latency_max_ms:
+            self.insert_latency_max_ms = result.latency_ms
+        if result.flushed:
+            self.flushes += 1
+        self.flash_writes += result.flash_writes
+        self.flash_reads += result.flash_reads
+        if self.keep_samples:
+            self.insert_latencies_ms.append(result.latency_ms)
+
+    @property
+    def mean_lookup_latency_ms(self) -> float:
+        """Mean lookup latency over all recorded lookups."""
+        return self.lookup_latency_total_ms / self.lookups if self.lookups else 0.0
+
+    @property
+    def mean_insert_latency_ms(self) -> float:
+        """Mean insert latency over all recorded inserts."""
+        return self.insert_latency_total_ms / self.inserts if self.inserts else 0.0
+
+    @property
+    def lookup_success_rate(self) -> float:
+        """Fraction of lookups that found a value."""
+        return self.lookup_hits / self.lookups if self.lookups else 0.0

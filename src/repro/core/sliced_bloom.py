@@ -1,0 +1,173 @@
+"""Bit-sliced, sliding-window organisation of per-incarnation Bloom filters.
+
+Section 5.1.3 of the paper: instead of storing the ``k`` per-incarnation
+Bloom filters of a super table as ``k`` separate ``m``-bit arrays, store them
+as ``m`` slices of ``k`` bits each, where slice ``i`` concatenates bit ``i``
+of every incarnation's filter.  A lookup then retrieves the ``h`` slices
+addressed by the key's hash functions and ANDs them; the 1-bits of the result
+identify the incarnations that may contain the key — one pass over ``h``
+machine words instead of ``h * k`` scattered bit probes.
+
+Eviction uses the sliding-window trick: each slice carries ``w`` spare bits,
+the active window of ``k`` bits simply shifts on eviction, and vacated bits
+are cleared lazily a whole word at a time, so eviction does not touch all
+``m`` slices.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.core.bloom import BloomFilter
+from repro.core.hashing import KeyLike, double_hashes
+
+
+class BitSlicedBloomArray:
+    """Bloom filters for the incarnations of one super table, stored bit-sliced.
+
+    Parameters
+    ----------
+    num_bits:
+        Bits per incarnation filter (``m``).
+    num_hashes:
+        Hash functions per filter (``h``); must match the per-incarnation
+        :class:`~repro.core.bloom.BloomFilter` configuration so both
+        organisations give identical answers.
+    max_incarnations:
+        Window size ``k`` — the number of live incarnations.
+    spare_bits:
+        ``w``, the number of spare columns appended to every slice so vacated
+        columns can be cleared lazily in word-sized batches.
+    """
+
+    def __init__(
+        self,
+        num_bits: int,
+        num_hashes: int,
+        max_incarnations: int,
+        spare_bits: int = 64,
+    ) -> None:
+        if num_bits <= 0:
+            raise ValueError("num_bits must be positive")
+        if num_hashes <= 0:
+            raise ValueError("num_hashes must be positive")
+        if max_incarnations <= 0:
+            raise ValueError("max_incarnations must be positive")
+        if spare_bits <= 0:
+            raise ValueError("spare_bits must be positive")
+        self.num_bits = num_bits
+        self.num_hashes = num_hashes
+        self.max_incarnations = max_incarnations
+        self.spare_bits = spare_bits
+        self.total_columns = max_incarnations + spare_bits
+
+        # One integer per bit position; bit j of _slices[i] is bit i of the
+        # Bloom filter whose incarnation occupies column j.
+        self._slices: List[int] = [0] * num_bits
+        # Columns occupied by live incarnations, oldest first.
+        self._columns: Deque[int] = deque()
+        # Column -> caller-supplied incarnation identifier.
+        self._column_owner: Dict[int, object] = {}
+        self._next_column = 0
+        self._vacated_columns: List[int] = []
+        self.lazy_clear_batches = 0
+
+    # -- Window management -------------------------------------------------------
+
+    @property
+    def live_count(self) -> int:
+        """Number of incarnations currently represented."""
+        return len(self._columns)
+
+    def append_filter(self, bloom: BloomFilter, incarnation_id: object) -> None:
+        """Install the (frozen) buffer filter as the newest incarnation's filter."""
+        if bloom.num_bits != self.num_bits or bloom.num_hashes != self.num_hashes:
+            raise ValueError("Bloom filter geometry does not match the sliced array")
+        if len(self._columns) >= self.max_incarnations:
+            raise RuntimeError(
+                "sliced array is full; evict the oldest incarnation before appending"
+            )
+        column = self._allocate_column()
+        column_bit = 1 << column
+        bits = bloom._bits
+        position = 0
+        # Walk only the set bits of the source filter.
+        while bits:
+            if bits & 1:
+                self._slices[position] |= column_bit
+            bits >>= 1
+            position += 1
+        self._columns.append(column)
+        self._column_owner[column] = incarnation_id
+
+    def evict_oldest(self) -> Optional[object]:
+        """Slide the window past the oldest incarnation; returns its identifier."""
+        if not self._columns:
+            return None
+        column = self._columns.popleft()
+        owner = self._column_owner.pop(column)
+        # The paper's lazy clearing: vacated columns keep their stale bits
+        # until a whole word's worth has accumulated, then are cleared at once.
+        self._vacated_columns.append(column)
+        if len(self._vacated_columns) >= self.spare_bits:
+            self._clear_vacated()
+        return owner
+
+    def _allocate_column(self) -> int:
+        """Next free column, wrapping around the (k + w)-bit slice width."""
+        for _ in range(self.total_columns):
+            column = self._next_column
+            self._next_column = (self._next_column + 1) % self.total_columns
+            if column not in self._column_owner and column not in self._vacated_columns:
+                return column
+        # All columns either live or awaiting lazy clearing: force a clear.
+        self._clear_vacated()
+        column = self._next_column
+        self._next_column = (self._next_column + 1) % self.total_columns
+        return column
+
+    def _clear_vacated(self) -> None:
+        """Clear all vacated columns across every slice in one batch."""
+        if not self._vacated_columns:
+            return
+        mask = 0
+        for column in self._vacated_columns:
+            mask |= 1 << column
+        keep = ~mask
+        for index, slice_bits in enumerate(self._slices):
+            if slice_bits & mask:
+                self._slices[index] = slice_bits & keep
+        self._vacated_columns.clear()
+        self.lazy_clear_batches += 1
+
+    # -- Lookup --------------------------------------------------------------------
+
+    def candidates(self, key: KeyLike) -> List[object]:
+        """Incarnation identifiers that may contain ``key``, newest first."""
+        if not self._columns:
+            return []
+        positions = double_hashes(key, self.num_hashes, self.num_bits)
+        combined = ~0
+        for position in positions:
+            combined &= self._slices[position]
+            if combined == 0:
+                return []
+        live_mask = 0
+        for column in self._columns:
+            live_mask |= 1 << column
+        combined &= live_mask
+        if combined == 0:
+            return []
+        matches = []
+        # Newest-first so the caller sees the most recent value for a key.
+        for column in reversed(self._columns):
+            if (combined >> column) & 1:
+                matches.append(self._column_owner[column])
+        return matches
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BitSlicedBloomArray(num_bits={self.num_bits}, num_hashes={self.num_hashes}, "
+            f"live={self.live_count}/{self.max_incarnations})"
+        )

@@ -1,0 +1,22 @@
+"""Data deduplication / online backup application (§3 of the paper).
+
+A deduplication system stores each unique chunk of data once; its index maps
+chunk fingerprints to stored locations.  The paper highlights one expensive
+operation — merging a smaller index (e.g. a branch office's backup set) into
+a larger one — and estimates Berkeley-DB would take ~2 hours where a CLAM
+finishes in under 2 minutes.  This package implements the chunk store, the
+dedup index on a pluggable hash table, and the merge operation behind that
+comparison (`benchmarks/bench_dedup_merge.py`).
+"""
+
+from repro.dedup.store import ChunkStore
+from repro.dedup.index import DedupIndex, DedupStats
+from repro.dedup.merge import merge_indexes, MergeReport
+
+__all__ = [
+    "ChunkStore",
+    "DedupIndex",
+    "DedupStats",
+    "merge_indexes",
+    "MergeReport",
+]

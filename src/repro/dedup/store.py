@@ -1,0 +1,71 @@
+"""Chunk store for the deduplication system.
+
+Unique chunks are appended to a large sequential store on disk; the dedup
+index maps fingerprints to their addresses.  The store is deliberately
+simple — deduplication's hard problem is the index, which is exactly the
+paper's point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.flashsim.device import StorageDevice
+
+
+class ChunkStore:
+    """Append-only store of unique chunks on a simulated device."""
+
+    def __init__(self, device: StorageDevice) -> None:
+        self.device = device
+        self._next_page = 0
+        self._sizes: Dict[int, int] = {}
+        self.unique_chunks = 0
+        self.unique_bytes = 0
+        self.duplicate_chunks = 0
+        self.duplicate_bytes = 0
+
+    def _pages_for(self, nbytes: int) -> int:
+        page_size = self.device.geometry.page_size
+        return max(1, -(-nbytes // page_size))
+
+    def append(self, size: int, payload: Optional[bytes] = None) -> Tuple[int, float]:
+        """Store one unique chunk; returns ``(address, latency_ms)``."""
+        pages = self._pages_for(size)
+        total_pages = self.device.geometry.total_pages
+        if self._next_page + pages > total_pages:
+            self._next_page = 0
+        address = self._next_page
+        page_size = self.device.geometry.page_size
+        images = []
+        for offset in range(pages):
+            if payload is None:
+                images.append(b"")
+            else:
+                images.append(payload[offset * page_size : (offset + 1) * page_size])
+        latency = self.device.write_range(address, images)
+        self._next_page += pages
+        self._sizes[address] = size
+        self.unique_chunks += 1
+        self.unique_bytes += size
+        return address, latency
+
+    def note_duplicate(self, size: int) -> None:
+        """Record that a duplicate chunk was suppressed (bookkeeping only)."""
+        self.duplicate_chunks += 1
+        self.duplicate_bytes += size
+
+    def read(self, address: int) -> Tuple[bytes, float]:
+        """Read a stored chunk back."""
+        size = self._sizes.get(address)
+        if size is None:
+            raise KeyError(f"no chunk stored at address {address}")
+        pages, latency = self.device.read_range(address, self._pages_for(size))
+        return b"".join(pages)[:size], latency
+
+    @property
+    def dedup_ratio(self) -> float:
+        """(unique + duplicate bytes) / unique bytes — the space saving factor."""
+        if self.unique_bytes == 0:
+            return 1.0
+        return (self.unique_bytes + self.duplicate_bytes) / self.unique_bytes

@@ -1,0 +1,12 @@
+"""Central directory for a data-oriented network architecture (§3).
+
+Data-oriented network proposals name content by hashes of its chunks and
+resolve those names to the hosts currently holding the data.  In a
+single-organisation deployment the resolution service is a central entity
+that must sustain very high insert (publish) and lookup (resolve) rates over
+a hash table far larger than DRAM — exactly the CLAM use case.
+"""
+
+from repro.directory.resolver import ContentDirectory, Registration, ResolutionResult
+
+__all__ = ["ContentDirectory", "Registration", "ResolutionResult"]

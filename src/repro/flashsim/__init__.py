@@ -1,0 +1,66 @@
+"""Storage substrate: simulated flash chips, SSDs, magnetic disks and DRAM.
+
+The paper evaluates BufferHash on real SSDs (Intel X18-M and Transcend
+TS32GSSD25) and a Hitachi 7K80 magnetic disk.  This package provides a
+discrete-event *simulation* of those devices: every read, write and erase
+advances a simulated clock by an amount derived from a linear cost model
+(fixed initialisation cost plus a per-byte cost), with additional effects
+for block erasure, garbage collection under write pressure and mechanical
+seek latency.  All latencies reported by the rest of the library are in
+simulated milliseconds.
+
+Public entry points
+-------------------
+:class:`SimulationClock`
+    Shared notion of simulated time.
+:class:`FlashChip`
+    A raw NAND flash chip with pages, erase blocks and an erase-before-write
+    constraint.
+:class:`SSD`
+    A flash translation layer (FTL) over one or more flash chips, exposing
+    sector reads/writes; includes background garbage collection pressure.
+:class:`MagneticDisk`
+    Seek + rotational latency model of a hard disk.
+:class:`DRAMDevice`
+    Near-zero-latency memory device used for cost-efficiency comparisons.
+:data:`INTEL_SSD_PROFILE`, :data:`TRANSCEND_SSD_PROFILE`,
+:data:`GENERIC_FLASH_CHIP_PROFILE`, :data:`MAGNETIC_DISK_PROFILE`
+    Calibrated device parameter sets.
+"""
+
+from repro.flashsim.clock import SimulationClock
+from repro.flashsim.latency import LinearCostModel, IOCost
+from repro.flashsim.stats import IOStats, IOEvent, IOKind
+from repro.flashsim.device import StorageDevice, DeviceGeometry
+from repro.flashsim.flash_chip import FlashChip, FlashChipError
+from repro.flashsim.ftl import PageMappingFTL
+from repro.flashsim.ssd import SSD, SSDProfile, INTEL_SSD_PROFILE, TRANSCEND_SSD_PROFILE
+from repro.flashsim.flash_chip import GENERIC_FLASH_CHIP_PROFILE, FlashChipProfile
+from repro.flashsim.disk import MagneticDisk, DiskProfile, MAGNETIC_DISK_PROFILE
+from repro.flashsim.dram import DRAMDevice, DRAM_PROFILE, DRAMProfile
+
+__all__ = [
+    "SimulationClock",
+    "LinearCostModel",
+    "IOCost",
+    "IOStats",
+    "IOEvent",
+    "IOKind",
+    "StorageDevice",
+    "DeviceGeometry",
+    "FlashChip",
+    "FlashChipError",
+    "FlashChipProfile",
+    "GENERIC_FLASH_CHIP_PROFILE",
+    "PageMappingFTL",
+    "SSD",
+    "SSDProfile",
+    "INTEL_SSD_PROFILE",
+    "TRANSCEND_SSD_PROFILE",
+    "MagneticDisk",
+    "DiskProfile",
+    "MAGNETIC_DISK_PROFILE",
+    "DRAMDevice",
+    "DRAMProfile",
+    "DRAM_PROFILE",
+]

@@ -1,0 +1,58 @@
+"""Simulated clock shared by storage devices and applications.
+
+All device latencies are expressed in *simulated milliseconds*.  A single
+:class:`SimulationClock` instance is shared by every device participating in
+an experiment so that, e.g., a WAN optimizer can interleave network
+serialisation delay with index I/O delay on one time line.
+"""
+
+from __future__ import annotations
+
+
+class SimulationClock:
+    """A monotonically advancing clock measured in simulated milliseconds.
+
+    The clock only ever moves forward.  Devices call :meth:`advance` with the
+    latency of each I/O; applications may also advance it directly to model
+    computation or network transmission time.
+    """
+
+    __slots__ = ("_now_ms",)
+
+    def __init__(self, start_ms: float = 0.0) -> None:
+        if start_ms < 0:
+            raise ValueError("start_ms must be non-negative")
+        self._now_ms = float(start_ms)
+
+    @property
+    def now_ms(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now_ms
+
+    @property
+    def now_s(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now_ms / 1000.0
+
+    def advance(self, delta_ms: float) -> float:
+        """Advance the clock by ``delta_ms`` milliseconds and return the new time.
+
+        Negative increments are rejected: simulated time never flows backwards.
+        """
+        if delta_ms < 0:
+            raise ValueError(f"cannot advance clock by negative amount {delta_ms!r}")
+        self._now_ms += delta_ms
+        return self._now_ms
+
+    def advance_seconds(self, delta_s: float) -> float:
+        """Advance the clock by ``delta_s`` seconds and return the new time in ms."""
+        return self.advance(delta_s * 1000.0)
+
+    def reset(self, to_ms: float = 0.0) -> None:
+        """Reset the clock, typically between independent experiment runs."""
+        if to_ms < 0:
+            raise ValueError("to_ms must be non-negative")
+        self._now_ms = float(to_ms)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimulationClock(now_ms={self._now_ms:.3f})"

@@ -1,0 +1,196 @@
+"""Abstract storage device interface shared by flash, SSD, disk and DRAM models.
+
+Every device exposes page/sector-granularity reads and writes, advances a
+shared :class:`~repro.flashsim.clock.SimulationClock` by the latency of each
+operation and records the operation in an :class:`~repro.flashsim.stats.IOStats`
+instance.  Devices store actual payload bytes so that data structures built on
+top of them (incarnations, external hash pages, the content cache) can be
+verified end to end, not just timed.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.flashsim.clock import SimulationClock
+from repro.flashsim.stats import IOEvent, IOKind, IOStats
+
+
+@dataclass(frozen=True)
+class DeviceGeometry:
+    """Size parameters of a block/page structured device.
+
+    Attributes
+    ----------
+    page_size:
+        Smallest unit of read/write in bytes (flash page or SSD/disk sector).
+    pages_per_block:
+        Pages per erase block (flash) or per track-equivalent grouping (disk).
+        For devices without erase blocks this is purely informational.
+    num_blocks:
+        Number of erase blocks; total capacity is
+        ``page_size * pages_per_block * num_blocks``.
+    """
+
+    page_size: int
+    pages_per_block: int
+    num_blocks: int
+
+    def __post_init__(self) -> None:
+        if self.page_size <= 0:
+            raise ValueError("page_size must be positive")
+        if self.pages_per_block <= 0:
+            raise ValueError("pages_per_block must be positive")
+        if self.num_blocks <= 0:
+            raise ValueError("num_blocks must be positive")
+
+    @property
+    def block_size(self) -> int:
+        """Bytes per erase block."""
+        return self.page_size * self.pages_per_block
+
+    @property
+    def total_pages(self) -> int:
+        """Total number of pages on the device."""
+        return self.pages_per_block * self.num_blocks
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Raw device capacity in bytes."""
+        return self.page_size * self.total_pages
+
+
+class StorageDevice(abc.ABC):
+    """Base class for simulated storage devices.
+
+    Subclasses implement :meth:`_read_latency` and :meth:`_write_latency`
+    (and optionally erase behaviour); this base class owns the clock,
+    statistics and the page payload store.
+    """
+
+    def __init__(
+        self,
+        geometry: DeviceGeometry,
+        clock: Optional[SimulationClock] = None,
+        keep_events: bool = False,
+        name: str = "device",
+    ) -> None:
+        self.geometry = geometry
+        self.clock = clock if clock is not None else SimulationClock()
+        self.stats = IOStats(keep_events=keep_events)
+        self.name = name
+        # Sparse payload store: page index -> bytes.  Pages never written
+        # read back as empty bytes, mirroring an erased device.
+        self._pages: dict[int, bytes] = {}
+        self._last_accessed_page: Optional[int] = None
+
+    # -- Payload handling ------------------------------------------------------
+
+    def _check_page(self, page_index: int) -> None:
+        if not 0 <= page_index < self.geometry.total_pages:
+            raise IndexError(
+                f"page {page_index} out of range for {self.name} "
+                f"(total pages {self.geometry.total_pages})"
+            )
+
+    def _store_page(self, page_index: int, data: bytes) -> None:
+        if len(data) > self.geometry.page_size:
+            raise ValueError(
+                f"payload of {len(data)} bytes exceeds page size "
+                f"{self.geometry.page_size}"
+            )
+        self._pages[page_index] = bytes(data)
+
+    def _load_page(self, page_index: int) -> bytes:
+        return self._pages.get(page_index, b"")
+
+    def _is_sequential(self, page_index: int) -> bool:
+        """Heuristic sequentiality detection based on the previous access."""
+        previous = self._last_accessed_page
+        self._last_accessed_page = page_index
+        if previous is None:
+            return False
+        return page_index == previous + 1
+
+    # -- Recording helpers -----------------------------------------------------
+
+    def _record(self, kind: IOKind, nbytes: int, latency_ms: float, sequential: bool) -> None:
+        self.clock.advance(latency_ms)
+        self.stats.record(
+            IOEvent(
+                kind=kind,
+                nbytes=nbytes,
+                latency_ms=latency_ms,
+                sequential=sequential,
+                timestamp_ms=self.clock.now_ms,
+            )
+        )
+
+    # -- Public API ------------------------------------------------------------
+
+    def read_page(self, page_index: int) -> tuple[bytes, float]:
+        """Read one page; returns ``(payload, latency_ms)``."""
+        self._check_page(page_index)
+        sequential = self._is_sequential(page_index)
+        latency = self._read_latency(self.geometry.page_size, sequential)
+        self._record(IOKind.READ, self.geometry.page_size, latency, sequential)
+        return self._load_page(page_index), latency
+
+    def write_page(self, page_index: int, data: bytes, sequential: Optional[bool] = None) -> float:
+        """Write one page; returns the latency in milliseconds.
+
+        ``sequential`` may be forced by the caller (e.g. an FTL that knows it
+        is appending to a log); when omitted it is inferred from the access
+        pattern.
+        """
+        self._check_page(page_index)
+        if sequential is None:
+            sequential = self._is_sequential(page_index)
+        else:
+            self._last_accessed_page = page_index
+        latency = self._write_latency(self.geometry.page_size, sequential)
+        self._record(IOKind.WRITE, self.geometry.page_size, latency, sequential)
+        self._store_page(page_index, data)
+        return latency
+
+    def read_range(self, start_page: int, num_pages: int) -> tuple[list[bytes], float]:
+        """Read ``num_pages`` consecutive pages as one streaming operation."""
+        if num_pages <= 0:
+            raise ValueError("num_pages must be positive")
+        self._check_page(start_page)
+        self._check_page(start_page + num_pages - 1)
+        nbytes = num_pages * self.geometry.page_size
+        latency = self._read_latency(nbytes, sequential=True)
+        self._record(IOKind.READ, nbytes, latency, sequential=True)
+        self._last_accessed_page = start_page + num_pages - 1
+        return [self._load_page(start_page + i) for i in range(num_pages)], latency
+
+    def write_range(self, start_page: int, pages: list[bytes]) -> float:
+        """Write consecutive pages as one streaming (sequential) operation."""
+        if not pages:
+            raise ValueError("pages must be non-empty")
+        self._check_page(start_page)
+        self._check_page(start_page + len(pages) - 1)
+        nbytes = len(pages) * self.geometry.page_size
+        latency = self._write_latency(nbytes, sequential=True)
+        self._record(IOKind.WRITE, nbytes, latency, sequential=True)
+        for offset, data in enumerate(pages):
+            self._store_page(start_page + offset, data)
+        self._last_accessed_page = start_page + len(pages) - 1
+        return latency
+
+    # -- Latency hooks ---------------------------------------------------------
+
+    @abc.abstractmethod
+    def _read_latency(self, nbytes: int, sequential: bool) -> float:
+        """Latency in ms of reading ``nbytes`` with the given access pattern."""
+
+    @abc.abstractmethod
+    def _write_latency(self, nbytes: int, sequential: bool) -> float:
+        """Latency in ms of writing ``nbytes`` with the given access pattern."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        gib = self.geometry.capacity_bytes / float(1 << 30)
+        return f"{type(self).__name__}(name={self.name!r}, capacity={gib:.2f} GiB)"

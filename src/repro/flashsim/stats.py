@@ -1,0 +1,141 @@
+"""I/O accounting shared by every simulated storage device.
+
+Each device records every operation it performs (kind, size, latency,
+whether it was sequential) so experiments can report both latency
+distributions and I/O counts — e.g. Table 2 of the paper reports the number
+of flash reads per lookup, and §7.3.1 attributes latency to specific I/O
+classes.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+
+class IOKind(enum.Enum):
+    """Classification of a single device operation."""
+
+    READ = "read"
+    WRITE = "write"
+    ERASE = "erase"
+
+
+@dataclass(frozen=True)
+class IOEvent:
+    """One recorded device operation."""
+
+    kind: IOKind
+    nbytes: int
+    latency_ms: float
+    sequential: bool
+    timestamp_ms: float
+
+
+@dataclass
+class IOStats:
+    """Aggregated I/O statistics for one device.
+
+    The full event log can optionally be retained (``keep_events=True``) for
+    CDF-style analyses; aggregate counters are always maintained so that the
+    common case stays cheap.
+    """
+
+    keep_events: bool = False
+    events: List[IOEvent] = field(default_factory=list)
+    op_counts: Dict[IOKind, int] = field(default_factory=dict)
+    byte_counts: Dict[IOKind, int] = field(default_factory=dict)
+    latency_totals_ms: Dict[IOKind, float] = field(default_factory=dict)
+    latency_max_ms: Dict[IOKind, float] = field(default_factory=dict)
+    sequential_counts: Dict[IOKind, int] = field(default_factory=dict)
+
+    def record(self, event: IOEvent) -> None:
+        """Fold one operation into the aggregates (and event log if enabled)."""
+        kind = event.kind
+        self.op_counts[kind] = self.op_counts.get(kind, 0) + 1
+        self.byte_counts[kind] = self.byte_counts.get(kind, 0) + event.nbytes
+        self.latency_totals_ms[kind] = (
+            self.latency_totals_ms.get(kind, 0.0) + event.latency_ms
+        )
+        if event.latency_ms > self.latency_max_ms.get(kind, 0.0):
+            self.latency_max_ms[kind] = event.latency_ms
+        if event.sequential:
+            self.sequential_counts[kind] = self.sequential_counts.get(kind, 0) + 1
+        if self.keep_events:
+            self.events.append(event)
+
+    # -- Convenience accessors -------------------------------------------------
+
+    def count(self, kind: Optional[IOKind] = None) -> int:
+        """Number of operations of ``kind`` (or all kinds when omitted)."""
+        if kind is None:
+            return sum(self.op_counts.values())
+        return self.op_counts.get(kind, 0)
+
+    def bytes_moved(self, kind: Optional[IOKind] = None) -> int:
+        """Bytes transferred by operations of ``kind`` (or all kinds)."""
+        if kind is None:
+            return sum(self.byte_counts.values())
+        return self.byte_counts.get(kind, 0)
+
+    def total_latency_ms(self, kind: Optional[IOKind] = None) -> float:
+        """Accumulated latency of operations of ``kind`` (or all kinds)."""
+        if kind is None:
+            return sum(self.latency_totals_ms.values())
+        return self.latency_totals_ms.get(kind, 0.0)
+
+    def mean_latency_ms(self, kind: IOKind) -> float:
+        """Mean latency of operations of ``kind`` (0 when none were recorded)."""
+        n = self.op_counts.get(kind, 0)
+        if n == 0:
+            return 0.0
+        return self.latency_totals_ms.get(kind, 0.0) / n
+
+    def max_latency_ms(self, kind: IOKind) -> float:
+        """Worst observed latency of operations of ``kind``."""
+        return self.latency_max_ms.get(kind, 0.0)
+
+    def reset(self) -> None:
+        """Forget all recorded operations."""
+        self.events.clear()
+        self.op_counts.clear()
+        self.byte_counts.clear()
+        self.latency_totals_ms.clear()
+        self.latency_max_ms.clear()
+        self.sequential_counts.clear()
+
+    def snapshot(self) -> Dict[str, float]:
+        """A flat dictionary summary, convenient for printing bench tables."""
+        summary: Dict[str, float] = {}
+        for kind in IOKind:
+            summary[f"{kind.value}_ops"] = float(self.count(kind))
+            summary[f"{kind.value}_bytes"] = float(self.bytes_moved(kind))
+            summary[f"{kind.value}_mean_ms"] = self.mean_latency_ms(kind)
+            summary[f"{kind.value}_max_ms"] = self.max_latency_ms(kind)
+        summary["total_ops"] = float(self.count())
+        summary["total_latency_ms"] = self.total_latency_ms()
+        return summary
+
+
+def percentile(values: Iterable[float], fraction: float) -> float:
+    """Linear-interpolation percentile of ``values`` at ``fraction`` in [0, 1].
+
+    Provided here because several modules need percentile summaries of
+    latency samples without depending on numpy.
+    """
+    data = sorted(values)
+    if not data:
+        raise ValueError("cannot take the percentile of an empty sequence")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    if len(data) == 1:
+        return data[0]
+    position = fraction * (len(data) - 1)
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    if lower == upper:
+        return data[int(position)]
+    weight = position - lower
+    return data[lower] * (1.0 - weight) + data[upper] * weight

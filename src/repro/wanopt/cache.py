@@ -1,0 +1,82 @@
+"""On-disk content cache of the WAN optimizer's compression engine.
+
+The compression engine keeps the actual chunk payloads in a large content
+cache on a magnetic disk (§8, "The CE maintains a large content cache on a
+magnetic disk"); the fingerprint index (CLAM or BDB) maps fingerprints to
+the cache addresses of those chunks.  Chunks are appended sequentially — the
+cheapest write pattern for a disk — and read back randomly when an object is
+reconstructed on the far side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.flashsim.device import StorageDevice
+
+
+class ContentCache:
+    """Append-only chunk store on a simulated disk (or any storage device)."""
+
+    def __init__(self, device: StorageDevice) -> None:
+        self.device = device
+        self._next_page = 0
+        # fingerprint -> (start page, length in bytes)
+        self._directory: Dict[bytes, Tuple[int, int]] = {}
+        self.bytes_stored = 0
+        self.chunks_stored = 0
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Raw capacity of the backing device."""
+        return self.device.geometry.capacity_bytes
+
+    def _pages_for(self, nbytes: int) -> int:
+        page_size = self.device.geometry.page_size
+        return max(1, -(-nbytes // page_size))
+
+    def store(self, fingerprint: bytes, size: int, payload: Optional[bytes] = None) -> Tuple[int, float]:
+        """Append a chunk; returns ``(address, latency_ms)``.
+
+        The cache wraps around when full (oldest content is overwritten),
+        mirroring the FIFO behaviour of commercial WAN optimizer stores.
+        """
+        pages_needed = self._pages_for(size)
+        total_pages = self.device.geometry.total_pages
+        if pages_needed > total_pages:
+            raise ValueError("chunk larger than the entire content cache")
+        if self._next_page + pages_needed > total_pages:
+            self._next_page = 0
+        address = self._next_page
+        page_size = self.device.geometry.page_size
+        images = []
+        for page_offset in range(pages_needed):
+            if payload is None:
+                images.append(b"")
+            else:
+                images.append(payload[page_offset * page_size : (page_offset + 1) * page_size])
+        latency = self.device.write_range(address, images)
+        self._next_page += pages_needed
+        self._directory[fingerprint] = (address, size)
+        self.bytes_stored += size
+        self.chunks_stored += 1
+        return address, latency
+
+    def contains(self, fingerprint: bytes) -> bool:
+        """Whether the cache currently holds a chunk with this fingerprint."""
+        return fingerprint in self._directory
+
+    def read(self, fingerprint: bytes) -> Tuple[Optional[bytes], float]:
+        """Read a chunk back; returns ``(payload or None, latency_ms)``."""
+        entry = self._directory.get(fingerprint)
+        if entry is None:
+            return None, 0.0
+        address, size = entry
+        pages, latency = self.device.read_range(address, self._pages_for(size))
+        payload = b"".join(pages)[:size]
+        return payload, latency
+
+    def address_of(self, fingerprint: bytes) -> Optional[int]:
+        """Cache address of a chunk (what the fingerprint index stores)."""
+        entry = self._directory.get(fingerprint)
+        return entry[0] if entry is not None else None

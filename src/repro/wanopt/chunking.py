@@ -1,0 +1,108 @@
+"""Content-defined chunking with a Rabin-Karp rolling hash.
+
+WAN optimizers and deduplication systems cut byte streams into chunks at
+positions determined by the *content* (not fixed offsets), so that inserting
+a byte near the start of a file only perturbs one chunk boundary instead of
+shifting every subsequent chunk.  The classic scheme (LBFS, cited by the
+paper as [34]) slides a fixed-width window over the data, maintains a
+Rabin-Karp rolling hash of the window and declares a boundary whenever the
+hash matches a target pattern modulo the average chunk size.
+
+This implementation is pure Python and intended for correctness tests,
+examples and small payloads; the large-scale WAN optimizer experiments use
+pre-computed chunk descriptors from :mod:`repro.wanopt.traces`, exactly as
+the paper's evaluation pre-computes chunks and SHA-1 hashes (§8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+_WINDOW_SIZE = 48
+_PRIME = 1_000_000_007
+_BASE = 257
+_MASK64 = (1 << 64) - 1
+
+
+@dataclass(frozen=True)
+class ChunkBoundary:
+    """A [start, end) byte range of one chunk within an object."""
+
+    start: int
+    end: int
+
+    @property
+    def length(self) -> int:
+        """Chunk length in bytes."""
+        return self.end - self.start
+
+
+class RabinChunker:
+    """Content-defined chunker with minimum / average / maximum chunk sizes.
+
+    Parameters
+    ----------
+    average_size:
+        Target mean chunk size; a boundary is declared when the rolling hash
+        is congruent to a fixed residue modulo ``average_size``.
+    min_size / max_size:
+        Hard bounds on chunk length; defaults are ``average_size / 4`` and
+        ``average_size * 4`` (the paper uses 4-8 KB average chunks).
+    """
+
+    def __init__(
+        self,
+        average_size: int = 4096,
+        min_size: int | None = None,
+        max_size: int | None = None,
+    ) -> None:
+        if average_size < 64:
+            raise ValueError("average_size must be at least 64 bytes")
+        self.average_size = average_size
+        self.min_size = min_size if min_size is not None else max(1, average_size // 4)
+        self.max_size = max_size if max_size is not None else average_size * 4
+        if self.min_size <= 0 or self.min_size > self.max_size:
+            raise ValueError("require 0 < min_size <= max_size")
+        self._boundary_residue = average_size - 1
+        # Precompute BASE^(WINDOW-1) for removing the outgoing byte.
+        self._leading_factor = pow(_BASE, _WINDOW_SIZE - 1, _PRIME)
+
+    def boundaries(self, data: bytes) -> List[ChunkBoundary]:
+        """Chunk boundaries covering ``data`` completely and in order."""
+        length = len(data)
+        if length == 0:
+            return []
+        boundaries: List[ChunkBoundary] = []
+        start = 0
+        rolling = 0
+        window_fill = 0
+        position = 0
+        while position < length:
+            byte = data[position]
+            if window_fill < _WINDOW_SIZE:
+                rolling = (rolling * _BASE + byte) % _PRIME
+                window_fill += 1
+            else:
+                outgoing = data[position - _WINDOW_SIZE]
+                rolling = (
+                    (rolling - outgoing * self._leading_factor) * _BASE + byte
+                ) % _PRIME
+            position += 1
+            chunk_length = position - start
+            if chunk_length < self.min_size:
+                continue
+            at_boundary = (rolling % self.average_size) == self._boundary_residue
+            if at_boundary or chunk_length >= self.max_size:
+                boundaries.append(ChunkBoundary(start, position))
+                start = position
+                rolling = 0
+                window_fill = 0
+        if start < length:
+            boundaries.append(ChunkBoundary(start, length))
+        return boundaries
+
+    def split(self, data: bytes) -> Iterator[bytes]:
+        """Yield the chunk payloads of ``data``."""
+        for boundary in self.boundaries(data):
+            yield data[boundary.start : boundary.end]

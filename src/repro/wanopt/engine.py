@@ -1,0 +1,154 @@
+"""Compression engine (CE) of the WAN optimizer.
+
+For each arriving object the engine:
+
+1. looks every chunk fingerprint up in the fingerprint index (CLAM or a
+   baseline index);
+2. replaces chunks whose fingerprints match with small references
+   (``reference_size`` bytes each on the wire);
+3. appends new chunks to the on-disk content cache and inserts their
+   fingerprints (pointing at the cache address) into the index.
+
+The engine reports, per object, the original and compressed sizes and how
+much simulated time was spent in index lookups, index inserts and cache
+writes — the quantities behind Figures 9 and 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Protocol
+
+from repro.core.results import InsertResult, LookupResult
+from repro.wanopt.cache import ContentCache
+from repro.wanopt.traces import TraceObject
+
+
+class FingerprintIndex(Protocol):
+    """Anything usable as the CE's fingerprint hash table."""
+
+    def lookup(self, key) -> LookupResult:  # pragma: no cover - protocol
+        ...
+
+    def insert(self, key, value) -> InsertResult:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass
+class ObjectCompressionResult:
+    """Outcome of compressing one object."""
+
+    object_id: int
+    original_bytes: int
+    compressed_bytes: int
+    chunks_total: int
+    chunks_matched: int
+    lookup_time_ms: float = 0.0
+    insert_time_ms: float = 0.0
+    cache_write_time_ms: float = 0.0
+    fingerprint_time_ms: float = 0.0
+
+    @property
+    def processing_time_ms(self) -> float:
+        """Total CE time spent on this object."""
+        return (
+            self.lookup_time_ms
+            + self.insert_time_ms
+            + self.cache_write_time_ms
+            + self.fingerprint_time_ms
+        )
+
+    @property
+    def compression_ratio(self) -> float:
+        """original / compressed size (>= 1 when compression helps)."""
+        if self.compressed_bytes <= 0:
+            return float("inf")
+        return self.original_bytes / self.compressed_bytes
+
+    @property
+    def bytes_saved(self) -> int:
+        """Bytes removed from the wire by redundancy elimination."""
+        return self.original_bytes - self.compressed_bytes
+
+
+@dataclass
+class CompressionEngine:
+    """Redundancy-elimination engine with a pluggable fingerprint index.
+
+    Parameters
+    ----------
+    index:
+        The fingerprint hash table (a :class:`repro.core.CLAM` or any
+        baseline index).
+    content_cache:
+        On-disk chunk store; optional — when omitted, cache write time is
+        approximated as zero (useful for index-only studies).
+    reference_size:
+        Bytes transmitted for a matched chunk (fingerprint + on-wire header).
+    fingerprint_cost_ms:
+        Simulated CPU cost of computing one chunk's SHA-1 + Rabin boundaries;
+        the paper emulates a "high-speed CM" by pre-computing these, so the
+        default is a small constant per chunk.
+    """
+
+    index: FingerprintIndex
+    content_cache: Optional[ContentCache] = None
+    reference_size: int = 40
+    fingerprint_cost_ms: float = 0.002
+    results: List[ObjectCompressionResult] = field(default_factory=list)
+
+    def process_object(self, obj: TraceObject) -> ObjectCompressionResult:
+        """Compress one object and update the index/cache."""
+        result = ObjectCompressionResult(
+            object_id=obj.object_id,
+            original_bytes=obj.size_bytes,
+            compressed_bytes=0,
+            chunks_total=obj.num_chunks,
+            chunks_matched=0,
+        )
+        clock = getattr(self.index, "clock", None)
+        for chunk in obj.chunks:
+            if clock is not None and self.fingerprint_cost_ms:
+                clock.advance(self.fingerprint_cost_ms)
+            result.fingerprint_time_ms += self.fingerprint_cost_ms
+
+            lookup = self.index.lookup(chunk.fingerprint)
+            result.lookup_time_ms += lookup.latency_ms
+            if lookup.found:
+                result.chunks_matched += 1
+                result.compressed_bytes += min(self.reference_size, chunk.size)
+                continue
+
+            result.compressed_bytes += chunk.size
+            cache_address = 0
+            if self.content_cache is not None:
+                cache_address, cache_latency = self.content_cache.store(
+                    chunk.fingerprint, chunk.size, chunk.payload
+                )
+                result.cache_write_time_ms += cache_latency
+            insert = self.index.insert(
+                chunk.fingerprint, cache_address.to_bytes(8, "big")
+            )
+            result.insert_time_ms += insert.latency_ms
+        self.results.append(result)
+        return result
+
+    # -- Aggregates -------------------------------------------------------------------
+
+    @property
+    def total_original_bytes(self) -> int:
+        """Bytes presented to the engine so far."""
+        return sum(result.original_bytes for result in self.results)
+
+    @property
+    def total_compressed_bytes(self) -> int:
+        """Bytes that still had to cross the wire."""
+        return sum(result.compressed_bytes for result in self.results)
+
+    @property
+    def overall_compression_ratio(self) -> float:
+        """original / compressed across every processed object."""
+        compressed = self.total_compressed_bytes
+        if compressed <= 0:
+            return float("inf")
+        return self.total_original_bytes / compressed

@@ -1,0 +1,54 @@
+"""Chunk fingerprints (SHA-1) and the chunk descriptor used across the WAN optimizer.
+
+The compression engine never needs the chunk payload once its fingerprint is
+known — the index maps fingerprints to content-cache addresses, and the trace
+generator can therefore describe multi-terabyte workloads as streams of
+(fingerprint, size) descriptors without materialising the bytes, exactly as
+the paper's evaluation pre-computes chunks and SHA-1 hashes (§8).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+
+def fingerprint_bytes(payload: bytes, length: int = 20) -> bytes:
+    """SHA-1 fingerprint of a chunk payload, truncated to ``length`` bytes."""
+    if length <= 0 or length > 20:
+        raise ValueError("length must be in 1..20")
+    return hashlib.sha1(payload).digest()[:length]
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """A content chunk as seen by the compression engine.
+
+    Attributes
+    ----------
+    fingerprint:
+        SHA-1 (or synthetic) fingerprint identifying the chunk's content.
+    size:
+        Chunk length in bytes.
+    payload:
+        The raw bytes, when available (real-payload paths); ``None`` for
+        descriptor-only traces.
+    """
+
+    fingerprint: bytes
+    size: int
+    payload: Optional[bytes] = None
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError("size must be non-negative")
+        if not self.fingerprint:
+            raise ValueError("fingerprint must be non-empty")
+        if self.payload is not None and len(self.payload) != self.size:
+            raise ValueError("payload length must match size")
+
+
+def chunk_from_bytes(payload: bytes) -> Chunk:
+    """Build a :class:`Chunk` (fingerprint + size + payload) from raw bytes."""
+    return Chunk(fingerprint=fingerprint_bytes(payload), size=len(payload), payload=payload)

@@ -1,0 +1,57 @@
+"""Network subsystem: the WAN link the optimizer transmits over.
+
+The paper's network subsystem simply sends bytes at (close to) link speed
+(§8, simplification 2: UDP at link rate with flow/congestion control turned
+off), so the model is serialisation delay only: transmitting ``n`` bytes over
+a ``b`` Mbps link takes ``8n / b`` microseconds of simulated time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.flashsim.clock import SimulationClock
+
+
+@dataclass(frozen=True)
+class TransmissionResult:
+    """Outcome of transmitting one object (or burst of bytes)."""
+
+    bytes_sent: int
+    duration_ms: float
+    completed_at_ms: float
+
+
+class Link:
+    """A WAN link with a fixed capacity in Mbps."""
+
+    def __init__(self, bandwidth_mbps: float, clock: SimulationClock) -> None:
+        if bandwidth_mbps <= 0:
+            raise ValueError("bandwidth_mbps must be positive")
+        self.bandwidth_mbps = bandwidth_mbps
+        self.clock = clock
+        self.bytes_sent = 0
+        self.busy_ms = 0.0
+
+    def serialization_delay_ms(self, nbytes: int) -> float:
+        """Time to clock ``nbytes`` onto the wire."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        bits = nbytes * 8
+        return bits / (self.bandwidth_mbps * 1000.0)  # Mbps = 1000 bits per ms
+
+    def transmit(self, nbytes: int) -> TransmissionResult:
+        """Send ``nbytes``, advancing the shared simulation clock."""
+        delay = self.serialization_delay_ms(nbytes)
+        self.clock.advance(delay)
+        self.bytes_sent += nbytes
+        self.busy_ms += delay
+        return TransmissionResult(
+            bytes_sent=nbytes, duration_ms=delay, completed_at_ms=self.clock.now_ms
+        )
+
+    def utilization(self, observation_window_ms: float) -> float:
+        """Fraction of an observation window the link spent transmitting."""
+        if observation_window_ms <= 0:
+            raise ValueError("observation_window_ms must be positive")
+        return min(1.0, self.busy_ms / observation_window_ms)

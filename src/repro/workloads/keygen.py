@@ -1,0 +1,112 @@
+"""Key generators for synthetic hash-table workloads.
+
+The systems the paper targets use fixed-width content fingerprints (SHA-1
+hashes truncated to 8-20 bytes) as keys.  These generators produce such
+fingerprint-like keys deterministically from a seed so that every experiment
+is reproducible.
+"""
+
+from __future__ import annotations
+
+import abc
+import hashlib
+import random
+from typing import Iterator, Optional
+
+
+def fingerprint_for(identifier: int, length: int = 20, namespace: bytes = b"repro") -> bytes:
+    """A deterministic SHA-1-style fingerprint for an integer identifier."""
+    if length <= 0 or length > 20:
+        raise ValueError("length must be in 1..20 (SHA-1 output size)")
+    digest = hashlib.sha1(namespace + identifier.to_bytes(8, "big")).digest()
+    return digest[:length]
+
+
+class KeyGenerator(abc.ABC):
+    """Produces a deterministic, seedable stream of keys."""
+
+    def __init__(self, seed: int = 0, key_length: int = 20) -> None:
+        self._rng = random.Random(seed)
+        self.key_length = key_length
+
+    @abc.abstractmethod
+    def next_key(self) -> bytes:
+        """The next key in the stream."""
+
+    def keys(self, count: int) -> Iterator[bytes]:
+        """Yield ``count`` keys."""
+        for _ in range(count):
+            yield self.next_key()
+
+
+class SequentialKeyGenerator(KeyGenerator):
+    """Fingerprints of 0, 1, 2, ... — every key is new (0 % natural hit rate)."""
+
+    def __init__(self, seed: int = 0, key_length: int = 20, start: int = 0) -> None:
+        super().__init__(seed=seed, key_length=key_length)
+        self._next_id = start
+
+    def next_key(self) -> bytes:
+        key = fingerprint_for(self._next_id, self.key_length)
+        self._next_id += 1
+        return key
+
+
+class RandomKeyGenerator(KeyGenerator):
+    """Fingerprints of identifiers drawn uniformly from ``[0, key_space)``.
+
+    A small key space relative to the number of operations produces repeated
+    keys (and therefore lookup hits); a large one produces mostly unique keys.
+    """
+
+    def __init__(self, key_space: int, seed: int = 0, key_length: int = 20) -> None:
+        if key_space <= 0:
+            raise ValueError("key_space must be positive")
+        super().__init__(seed=seed, key_length=key_length)
+        self.key_space = key_space
+
+    def next_key(self) -> bytes:
+        return fingerprint_for(self._rng.randrange(self.key_space), self.key_length)
+
+
+class ZipfKeyGenerator(KeyGenerator):
+    """Zipf-distributed identifiers: a few hot keys, a long cold tail.
+
+    Useful for exercising temporal locality (e.g. LRU eviction experiments);
+    uses the classic rejection-free approximation over a bounded universe.
+    """
+
+    def __init__(
+        self,
+        key_space: int,
+        skew: float = 1.1,
+        seed: int = 0,
+        key_length: int = 20,
+        max_universe: Optional[int] = None,
+    ) -> None:
+        if key_space <= 0:
+            raise ValueError("key_space must be positive")
+        if skew <= 0:
+            raise ValueError("skew must be positive")
+        super().__init__(seed=seed, key_length=key_length)
+        self.key_space = key_space
+        self.skew = skew
+        universe = min(key_space, max_universe or key_space, 100_000)
+        weights = [1.0 / ((rank + 1) ** skew) for rank in range(universe)]
+        total = sum(weights)
+        self._cumulative = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            self._cumulative.append(acc)
+
+    def next_key(self) -> bytes:
+        target = self._rng.random()
+        low, high = 0, len(self._cumulative) - 1
+        while low < high:
+            mid = (low + high) // 2
+            if self._cumulative[mid] < target:
+                low = mid + 1
+            else:
+                high = mid
+        return fingerprint_for(low, self.key_length)

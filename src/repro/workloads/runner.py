@@ -1,0 +1,150 @@
+"""Workload runner: executes an operation stream against any hash index.
+
+The runner only requires the index to expose the common
+``insert``/``lookup``/``update``/``delete`` methods returning the result
+records from :mod:`repro.core.results`; both :class:`repro.core.CLAM` and
+every baseline in :mod:`repro.baselines` qualify, so a single runner powers
+all the comparative experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Protocol
+
+from repro.core.results import DeleteResult, InsertResult, LookupResult
+from repro.workloads.metrics import LatencySummary, summarize_latencies
+from repro.workloads.workload import Operation, OpKind
+
+
+class HashIndex(Protocol):
+    """Structural type of anything the runner can drive."""
+
+    def insert(self, key, value) -> InsertResult:  # pragma: no cover - protocol
+        ...
+
+    def lookup(self, key) -> LookupResult:  # pragma: no cover - protocol
+        ...
+
+    def update(self, key, value) -> InsertResult:  # pragma: no cover - protocol
+        ...
+
+    def delete(self, key) -> DeleteResult:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass
+class RunReport:
+    """Everything an experiment needs to know about one workload run."""
+
+    operations: int = 0
+    lookups: int = 0
+    inserts: int = 0
+    updates: int = 0
+    deletes: int = 0
+    lookup_hits: int = 0
+    lookup_latencies_ms: List[float] = field(default_factory=list)
+    insert_latencies_ms: List[float] = field(default_factory=list)
+    lookup_flash_reads: List[int] = field(default_factory=list)
+    simulated_duration_ms: float = 0.0
+
+    @property
+    def lookup_success_rate(self) -> float:
+        """Observed LSR."""
+        return self.lookup_hits / self.lookups if self.lookups else 0.0
+
+    @property
+    def mean_lookup_latency_ms(self) -> float:
+        """Mean lookup latency."""
+        if not self.lookup_latencies_ms:
+            return 0.0
+        return sum(self.lookup_latencies_ms) / len(self.lookup_latencies_ms)
+
+    @property
+    def mean_insert_latency_ms(self) -> float:
+        """Mean insert/update latency."""
+        if not self.insert_latencies_ms:
+            return 0.0
+        return sum(self.insert_latencies_ms) / len(self.insert_latencies_ms)
+
+    @property
+    def mean_latency_per_operation_ms(self) -> float:
+        """Mean latency over every operation in the run (Table 3's metric)."""
+        total = sum(self.lookup_latencies_ms) + sum(self.insert_latencies_ms)
+        count = len(self.lookup_latencies_ms) + len(self.insert_latencies_ms)
+        return total / count if count else 0.0
+
+    @property
+    def throughput_ops_per_second(self) -> float:
+        """Operations per simulated second."""
+        if self.simulated_duration_ms <= 0:
+            return 0.0
+        return self.operations / (self.simulated_duration_ms / 1000.0)
+
+    def lookup_summary(self) -> LatencySummary:
+        """Latency summary over lookups."""
+        return summarize_latencies(self.lookup_latencies_ms)
+
+    def insert_summary(self) -> LatencySummary:
+        """Latency summary over inserts/updates."""
+        return summarize_latencies(self.insert_latencies_ms)
+
+    def flash_reads_histogram(self) -> Dict[int, float]:
+        """Distribution of flash reads per lookup (Table 2's left column)."""
+        if not self.lookup_flash_reads:
+            return {}
+        counts: Dict[int, int] = {}
+        for reads in self.lookup_flash_reads:
+            counts[reads] = counts.get(reads, 0) + 1
+        total = len(self.lookup_flash_reads)
+        return {reads: count / total for reads, count in sorted(counts.items())}
+
+
+class WorkloadRunner:
+    """Executes operation streams and collects latency/IO observations."""
+
+    def __init__(self, index: HashIndex, clock=None) -> None:
+        self.index = index
+        # The clock is optional; when present the report includes simulated
+        # wall-clock duration (every CLAM/baseline carries one).
+        self.clock = clock if clock is not None else getattr(index, "clock", None)
+
+    def run(
+        self,
+        operations: Iterable[Operation],
+        keep_samples: bool = True,
+        max_operations: Optional[int] = None,
+    ) -> RunReport:
+        """Execute ``operations`` in order and return a :class:`RunReport`."""
+        report = RunReport()
+        start_ms = self.clock.now_ms if self.clock is not None else 0.0
+        for index, operation in enumerate(operations):
+            if max_operations is not None and index >= max_operations:
+                break
+            report.operations += 1
+            if operation.kind is OpKind.LOOKUP:
+                result = self.index.lookup(operation.key)
+                report.lookups += 1
+                if result.found:
+                    report.lookup_hits += 1
+                if keep_samples:
+                    report.lookup_latencies_ms.append(result.latency_ms)
+                    report.lookup_flash_reads.append(result.flash_reads)
+            elif operation.kind is OpKind.INSERT:
+                result = self.index.insert(operation.key, operation.value)
+                report.inserts += 1
+                if keep_samples:
+                    report.insert_latencies_ms.append(result.latency_ms)
+            elif operation.kind is OpKind.UPDATE:
+                result = self.index.update(operation.key, operation.value)
+                report.updates += 1
+                if keep_samples:
+                    report.insert_latencies_ms.append(result.latency_ms)
+            elif operation.kind is OpKind.DELETE:
+                self.index.delete(operation.key)
+                report.deletes += 1
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown operation kind {operation.kind!r}")
+        if self.clock is not None:
+            report.simulated_duration_ms = self.clock.now_ms - start_ms
+        return report

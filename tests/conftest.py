@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CLAM, CLAMConfig
+from repro.flashsim import (
+    FlashChip,
+    MagneticDisk,
+    SSD,
+    SimulationClock,
+    INTEL_SSD_PROFILE,
+    TRANSCEND_SSD_PROFILE,
+)
+
+
+@pytest.fixture
+def clock() -> SimulationClock:
+    """A fresh simulation clock."""
+    return SimulationClock()
+
+
+@pytest.fixture
+def intel_ssd(clock: SimulationClock) -> SSD:
+    """An Intel-profile SSD sharing the test clock."""
+    return SSD(profile=INTEL_SSD_PROFILE, clock=clock)
+
+
+@pytest.fixture
+def transcend_ssd(clock: SimulationClock) -> SSD:
+    """A Transcend-profile SSD sharing the test clock."""
+    return SSD(profile=TRANSCEND_SSD_PROFILE, clock=clock)
+
+
+@pytest.fixture
+def disk(clock: SimulationClock) -> MagneticDisk:
+    """A magnetic disk sharing the test clock."""
+    return MagneticDisk(clock=clock)
+
+
+@pytest.fixture
+def flash_chip(clock: SimulationClock) -> FlashChip:
+    """A raw flash chip sharing the test clock."""
+    return FlashChip(clock=clock)
+
+
+@pytest.fixture
+def small_config() -> CLAMConfig:
+    """A small CLAM configuration that flushes and evicts quickly in tests."""
+    return CLAMConfig.scaled(
+        num_super_tables=4, buffer_capacity_items=32, incarnations_per_table=4
+    )
+
+
+@pytest.fixture
+def small_clam(small_config: CLAMConfig) -> CLAM:
+    """A small CLAM on an Intel-profile SSD."""
+    return CLAM(small_config, storage="intel-ssd")

@@ -1,0 +1,104 @@
+"""Tests for the per-incarnation Bloom filter."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import BloomFilter, false_positive_rate, optimal_num_hashes
+
+
+class TestHelpers:
+    def test_optimal_num_hashes(self):
+        # m/n = 16 bits per item -> about 11 hash functions.
+        assert optimal_num_hashes(16.0) == 11
+        assert optimal_num_hashes(1.0) == 1
+
+    def test_optimal_num_hashes_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            optimal_num_hashes(0)
+
+    def test_false_positive_rate_monotone_in_items(self):
+        sparse = false_positive_rate(num_bits=1024, num_items=10, num_hashes=7)
+        dense = false_positive_rate(num_bits=1024, num_items=500, num_hashes=7)
+        assert sparse < dense
+
+    def test_false_positive_rate_empty_filter_is_zero(self):
+        assert false_positive_rate(1024, 0, 7) == 0.0
+
+    def test_false_positive_rate_validation(self):
+        with pytest.raises(ValueError):
+            false_positive_rate(0, 1, 1)
+        with pytest.raises(ValueError):
+            false_positive_rate(10, -1, 1)
+        with pytest.raises(ValueError):
+            false_positive_rate(10, 1, 0)
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter.for_capacity(100)
+        keys = [b"key-%d" % i for i in range(100)]
+        bloom.update(keys)
+        assert all(key in bloom for key in keys)
+
+    def test_empty_filter_contains_nothing(self):
+        bloom = BloomFilter.for_capacity(10)
+        assert b"anything" not in bloom
+
+    def test_false_positive_rate_is_low_when_properly_sized(self):
+        bloom = BloomFilter.for_capacity(500, bits_per_item=16)
+        bloom.update(b"member-%d" % i for i in range(500))
+        false_positives = sum(1 for i in range(5000) if b"absent-%d" % i in bloom)
+        assert false_positives / 5000 < 0.01
+
+    def test_item_count(self):
+        bloom = BloomFilter.for_capacity(10)
+        bloom.add(b"a")
+        bloom.add(b"b")
+        assert bloom.item_count == 2
+
+    def test_clear(self):
+        bloom = BloomFilter.for_capacity(10)
+        bloom.add(b"a")
+        bloom.clear()
+        assert b"a" not in bloom
+        assert bloom.item_count == 0
+
+    def test_copy_is_independent(self):
+        bloom = BloomFilter.for_capacity(10)
+        bloom.add(b"a")
+        clone = bloom.copy()
+        bloom.add(b"b")
+        assert b"a" in clone
+        assert b"b" not in clone or clone.item_count == 1  # copy did not gain new items
+
+    def test_fill_fraction_grows(self):
+        bloom = BloomFilter.for_capacity(100)
+        before = bloom.fill_fraction()
+        bloom.update(b"k-%d" % i for i in range(100))
+        assert bloom.fill_fraction() > before
+
+    def test_expected_false_positive_rate_tracks_fill(self):
+        bloom = BloomFilter.for_capacity(100, bits_per_item=16)
+        assert bloom.expected_false_positive_rate() == 0.0
+        bloom.update(b"k-%d" % i for i in range(100))
+        assert 0.0 < bloom.expected_false_positive_rate() < 0.01
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            BloomFilter(num_bits=0, num_hashes=3)
+        with pytest.raises(ValueError):
+            BloomFilter(num_bits=8, num_hashes=0)
+        with pytest.raises(ValueError):
+            BloomFilter.for_capacity(0)
+
+    def test_may_contain_alias(self):
+        bloom = BloomFilter.for_capacity(10)
+        bloom.add(b"z")
+        assert bloom.may_contain(b"z")
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.binary(min_size=1, max_size=16), min_size=1, max_size=64, unique=True))
+    def test_property_every_added_key_is_reported_present(self, keys):
+        bloom = BloomFilter.for_capacity(max(len(keys), 1))
+        bloom.update(keys)
+        assert all(key in bloom for key in keys)

@@ -1,0 +1,99 @@
+"""Tests for Rabin-Karp content-defined chunking and fingerprints."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.wanopt import RabinChunker, chunk_from_bytes, fingerprint_bytes
+
+
+class TestRabinChunker:
+    def test_boundaries_cover_data_exactly(self):
+        data = random.Random(1).randbytes(64 * 1024)
+        chunker = RabinChunker(average_size=2048)
+        boundaries = chunker.boundaries(data)
+        assert boundaries[0].start == 0
+        assert boundaries[-1].end == len(data)
+        for previous, current in zip(boundaries, boundaries[1:]):
+            assert previous.end == current.start
+
+    def test_split_reassembles_to_original(self):
+        data = random.Random(2).randbytes(32 * 1024)
+        chunker = RabinChunker(average_size=1024)
+        assert b"".join(chunker.split(data)) == data
+
+    def test_chunk_sizes_respect_bounds(self):
+        data = random.Random(3).randbytes(128 * 1024)
+        chunker = RabinChunker(average_size=2048)
+        boundaries = chunker.boundaries(data)
+        # All chunks except possibly the trailing one respect min/max bounds.
+        for boundary in boundaries[:-1]:
+            assert chunker.min_size <= boundary.length <= chunker.max_size
+
+    def test_average_size_roughly_respected(self):
+        data = random.Random(4).randbytes(256 * 1024)
+        chunker = RabinChunker(average_size=4096)
+        boundaries = chunker.boundaries(data)
+        mean = sum(b.length for b in boundaries) / len(boundaries)
+        assert 1024 < mean < 16384
+
+    def test_chunking_is_deterministic(self):
+        data = random.Random(5).randbytes(16 * 1024)
+        chunker = RabinChunker(average_size=1024)
+        assert chunker.boundaries(data) == chunker.boundaries(data)
+
+    def test_boundaries_resist_prefix_insertion(self):
+        """The defining property of content-defined chunking: inserting bytes at
+        the front must not move most downstream chunk boundaries (fixed-size
+        chunking would shift every one of them)."""
+        data = random.Random(6).randbytes(64 * 1024)
+        shifted = b"PREFIX-BYTES!" + data
+        chunker = RabinChunker(average_size=1024)
+        original_cuts = {b.end for b in chunker.boundaries(data)}
+        shifted_cuts = {b.end - len(b"PREFIX-BYTES!") for b in chunker.boundaries(shifted)}
+        common = original_cuts & shifted_cuts
+        assert len(common) > len(original_cuts) * 0.5
+
+    def test_empty_input(self):
+        assert RabinChunker(average_size=1024).boundaries(b"") == []
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            RabinChunker(average_size=16)
+        with pytest.raises(ValueError):
+            RabinChunker(average_size=1024, min_size=2048, max_size=1024)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.binary(min_size=0, max_size=8192))
+    def test_property_cover_and_reassemble(self, data):
+        chunker = RabinChunker(average_size=256)
+        assert b"".join(chunker.split(data)) == data
+
+
+class TestFingerprints:
+    def test_fingerprint_deterministic_and_content_sensitive(self):
+        assert fingerprint_bytes(b"hello") == fingerprint_bytes(b"hello")
+        assert fingerprint_bytes(b"hello") != fingerprint_bytes(b"hellp")
+
+    def test_fingerprint_length(self):
+        assert len(fingerprint_bytes(b"data")) == 20
+        assert len(fingerprint_bytes(b"data", length=8)) == 8
+        with pytest.raises(ValueError):
+            fingerprint_bytes(b"data", length=21)
+
+    def test_chunk_from_bytes(self):
+        chunk = chunk_from_bytes(b"payload")
+        assert chunk.size == 7
+        assert chunk.payload == b"payload"
+        assert chunk.fingerprint == fingerprint_bytes(b"payload")
+
+    def test_chunk_validation(self):
+        from repro.wanopt.fingerprint import Chunk
+
+        with pytest.raises(ValueError):
+            Chunk(fingerprint=b"", size=1)
+        with pytest.raises(ValueError):
+            Chunk(fingerprint=b"f", size=-1)
+        with pytest.raises(ValueError):
+            Chunk(fingerprint=b"f", size=3, payload=b"toolong")

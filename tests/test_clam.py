@@ -1,0 +1,150 @@
+"""Tests for the CLAM facade (device selection, stats, ablation modes)."""
+
+import pytest
+
+from repro.core import CLAM, CLAMConfig, ConfigurationError, build_device
+from repro.flashsim import DRAMDevice, FlashChip, MagneticDisk, SSD, SimulationClock
+
+
+class TestBuildDevice:
+    @pytest.mark.parametrize(
+        "name,expected_type",
+        [
+            ("intel-ssd", SSD),
+            ("transcend-ssd", SSD),
+            ("disk", MagneticDisk),
+            ("flash-chip", FlashChip),
+            ("dram", DRAMDevice),
+        ],
+    )
+    def test_profiles(self, name, expected_type):
+        device = build_device(name)
+        assert isinstance(device, expected_type)
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_device("floppy-disk")
+
+    def test_intel_and_transcend_use_different_profiles(self):
+        assert build_device("intel-ssd").profile.name != build_device("transcend-ssd").profile.name
+
+
+class TestCLAMBasics:
+    def test_insert_lookup_delete(self, small_clam):
+        small_clam.insert(b"key", b"value")
+        assert small_clam.get(b"key") == b"value"
+        assert b"key" in small_clam
+        small_clam.delete(b"key")
+        assert small_clam.get(b"key") is None
+
+    def test_accepts_device_instance(self, small_config):
+        clock = SimulationClock()
+        device = SSD(clock=clock)
+        clam = CLAM(small_config, storage=device)
+        clam.insert(b"key", b"value")
+        assert clam.get(b"key") == b"value"
+        assert clam.device is device
+
+    def test_mismatched_clock_rejected(self, small_config):
+        device = SSD(clock=SimulationClock())
+        with pytest.raises(ConfigurationError):
+            CLAM(small_config, storage=device, clock=SimulationClock())
+
+    def test_stats_recorded(self, small_clam):
+        for i in range(50):
+            small_clam.insert(b"key-%d" % i, b"v")
+        for i in range(50):
+            small_clam.lookup(b"key-%d" % i)
+        small_clam.lookup(b"missing")
+        assert small_clam.stats.inserts == 50
+        assert small_clam.stats.lookups == 51
+        assert small_clam.stats.lookup_hits == 50
+        assert 0 < small_clam.stats.mean_insert_latency_ms < 1.0
+        assert small_clam.stats.mean_lookup_latency_ms > 0
+
+    def test_describe_contains_key_metrics(self, small_clam):
+        small_clam.insert(b"key", b"value")
+        small_clam.lookup(b"key")
+        summary = small_clam.describe()
+        for field in ("lookups", "inserts", "mean_lookup_ms", "mean_insert_ms", "flushes"):
+            assert field in summary
+
+    def test_throughput_positive_after_operations(self, small_clam):
+        for i in range(100):
+            small_clam.insert(b"key-%d" % i, b"v")
+        assert small_clam.throughput_ops_per_second() > 0
+
+    def test_latency_samples_optional(self, small_config):
+        clam = CLAM(small_config, storage="intel-ssd", keep_latency_samples=False)
+        for i in range(20):
+            clam.insert(b"key-%d" % i, b"v")
+        assert clam.stats.insert_latencies_ms == []
+        assert clam.stats.inserts == 20
+
+
+class TestCLAMOnDifferentMedia:
+    def test_clam_on_ssd_faster_than_on_disk(self, small_config):
+        workload = [(b"key-%d" % i, b"value") for i in range(1500)]
+
+        ssd_clam = CLAM(small_config, storage="intel-ssd")
+        disk_clam = CLAM(small_config, storage="disk")
+        for key, value in workload:
+            ssd_clam.insert(key, value)
+            disk_clam.insert(key, value)
+        for key, _ in workload[::3]:
+            ssd_clam.lookup(key)
+            disk_clam.lookup(key)
+        assert (
+            ssd_clam.stats.mean_lookup_latency_ms < disk_clam.stats.mean_lookup_latency_ms
+        )
+
+    def test_intel_faster_than_transcend(self, small_config):
+        intel = CLAM(small_config, storage="intel-ssd")
+        transcend = CLAM(small_config, storage="transcend-ssd")
+        for i in range(1500):
+            intel.insert(b"key-%d" % i, b"v")
+            transcend.insert(b"key-%d" % i, b"v")
+        for i in range(0, 1500, 3):
+            intel.lookup(b"key-%d" % i)
+            transcend.lookup(b"key-%d" % i)
+        assert intel.stats.mean_lookup_latency_ms <= transcend.stats.mean_lookup_latency_ms
+
+
+class TestAblationModes:
+    def test_unbuffered_mode_still_correct(self):
+        config = CLAMConfig.scaled(use_buffering=False)
+        clam = CLAM(config, storage="intel-ssd")
+        clam.insert(b"key", b"value")
+        assert clam.get(b"key") == b"value"
+        clam.delete(b"key")
+        assert clam.get(b"key") is None
+
+    def test_unbuffered_inserts_much_slower_under_load(self, small_config):
+        """The §7.3.1 buffering ablation: without buffering every insert is a
+        random flash write and the SSD degrades."""
+        buffered = CLAM(small_config, storage="intel-ssd")
+        unbuffered = CLAM(small_config.with_overrides(use_buffering=False), storage="intel-ssd")
+        for i in range(3000):
+            buffered.insert(b"key-%d" % i, b"v")
+            unbuffered.insert(b"key-%d" % i, b"v")
+        assert (
+            unbuffered.stats.mean_insert_latency_ms
+            > 10 * buffered.stats.mean_insert_latency_ms
+        )
+
+    def test_no_bloom_filter_mode_reads_more(self, small_config):
+        with_bloom = CLAM(small_config, storage="intel-ssd")
+        without_bloom = CLAM(
+            small_config.with_overrides(use_bloom_filters=False), storage="intel-ssd"
+        )
+        for i in range(600):
+            with_bloom.insert(b"key-%d" % i, b"v")
+            without_bloom.insert(b"key-%d" % i, b"v")
+        for i in range(300):
+            with_bloom.lookup(b"absent-%d" % i)
+            without_bloom.lookup(b"absent-%d" % i)
+        assert without_bloom.stats.flash_reads > with_bloom.stats.flash_reads
+        assert (
+            without_bloom.stats.mean_lookup_latency_ms
+            > with_bloom.stats.mean_lookup_latency_ms
+        )

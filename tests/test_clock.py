@@ -1,0 +1,63 @@
+"""Tests for the simulation clock."""
+
+import pytest
+
+from repro.flashsim import SimulationClock
+
+
+class TestSimulationClock:
+    def test_starts_at_zero_by_default(self):
+        assert SimulationClock().now_ms == 0.0
+
+    def test_starts_at_given_time(self):
+        assert SimulationClock(start_ms=12.5).now_ms == 12.5
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationClock(start_ms=-1.0)
+
+    def test_advance_accumulates(self):
+        clock = SimulationClock()
+        clock.advance(1.5)
+        clock.advance(2.5)
+        assert clock.now_ms == pytest.approx(4.0)
+
+    def test_advance_returns_new_time(self):
+        clock = SimulationClock()
+        assert clock.advance(3.0) == pytest.approx(3.0)
+
+    def test_advance_negative_rejected(self):
+        clock = SimulationClock()
+        with pytest.raises(ValueError):
+            clock.advance(-0.1)
+
+    def test_advance_zero_allowed(self):
+        clock = SimulationClock()
+        clock.advance(0.0)
+        assert clock.now_ms == 0.0
+
+    def test_now_seconds(self):
+        clock = SimulationClock()
+        clock.advance(2500.0)
+        assert clock.now_s == pytest.approx(2.5)
+
+    def test_advance_seconds(self):
+        clock = SimulationClock()
+        clock.advance_seconds(0.25)
+        assert clock.now_ms == pytest.approx(250.0)
+
+    def test_reset(self):
+        clock = SimulationClock()
+        clock.advance(100.0)
+        clock.reset()
+        assert clock.now_ms == 0.0
+
+    def test_reset_to_value(self):
+        clock = SimulationClock()
+        clock.advance(100.0)
+        clock.reset(to_ms=5.0)
+        assert clock.now_ms == 5.0
+
+    def test_reset_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationClock().reset(to_ms=-5.0)

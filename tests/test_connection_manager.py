@@ -1,0 +1,113 @@
+"""Tests for the WAN optimizer's connection-management front end."""
+
+import random
+
+import pytest
+
+from repro.core import CLAM, CLAMConfig
+from repro.flashsim import SSD, SimulationClock
+from repro.wanopt import CompressionEngine, ConnectionManager
+
+
+class TestConnectionManager:
+    def test_object_emitted_after_window_expires(self):
+        clock = SimulationClock()
+        manager = ConnectionManager(clock, window_ms=25.0)
+        manager.receive("conn-1", b"hello world " * 100)
+        assert manager.open_connections == 1
+        clock.advance(30.0)
+        objects = manager.poll()
+        assert len(objects) == 1
+        assert objects[0].size_bytes == len(b"hello world " * 100)
+        assert manager.open_connections == 0
+
+    def test_segments_of_one_connection_are_concatenated(self):
+        clock = SimulationClock()
+        manager = ConnectionManager(clock, window_ms=25.0)
+        manager.receive("conn-1", b"first-")
+        manager.receive("conn-1", b"second")
+        clock.advance(30.0)
+        (obj,) = manager.poll()
+        payload = b"".join(chunk.payload for chunk in obj.chunks)
+        assert payload == b"first-second"
+
+    def test_connections_are_kept_separate(self):
+        clock = SimulationClock()
+        manager = ConnectionManager(clock, window_ms=25.0)
+        manager.receive("a", b"AAAA" * 50)
+        manager.receive("b", b"BBBB" * 70)
+        clock.advance(30.0)
+        objects = manager.poll()
+        assert len(objects) == 2
+        sizes = sorted(obj.size_bytes for obj in objects)
+        assert sizes == [200, 280]
+
+    def test_size_cap_emits_early(self):
+        clock = SimulationClock()
+        manager = ConnectionManager(clock, window_ms=1_000.0, max_object_bytes=4_096)
+        completed = manager.receive("bulk", bytes(8_192))
+        assert len(completed) == 1
+        assert completed[0].size_bytes == 8_192
+
+    def test_window_not_expired_means_no_emission(self):
+        clock = SimulationClock()
+        manager = ConnectionManager(clock, window_ms=25.0)
+        manager.receive("conn-1", b"data")
+        clock.advance(5.0)
+        assert manager.poll() == []
+        assert manager.pending_bytes("conn-1") == 4
+
+    def test_flush_specific_and_all(self):
+        clock = SimulationClock()
+        manager = ConnectionManager(clock, window_ms=1_000.0)
+        manager.receive("a", b"x" * 100)
+        manager.receive("b", b"y" * 100)
+        assert len(manager.flush("a")) == 1
+        assert manager.flush("missing") == []
+        assert len(manager.flush()) == 1  # only "b" remains
+        assert manager.open_connections == 0
+
+    def test_chunking_cost_advances_clock(self):
+        clock = SimulationClock()
+        manager = ConnectionManager(clock, window_ms=1.0, chunking_cost_ms_per_kb=0.1)
+        manager.receive("conn", bytes(10 * 1024))
+        clock.advance(2.0)
+        before = clock.now_ms
+        manager.poll()
+        assert clock.now_ms > before
+
+    def test_chunks_reassemble_to_payload(self):
+        clock = SimulationClock()
+        manager = ConnectionManager(clock, window_ms=1.0)
+        payload = random.Random(3).randbytes(64 * 1024)
+        manager.receive("conn", payload)
+        clock.advance(2.0)
+        (obj,) = manager.poll()
+        assert b"".join(chunk.payload for chunk in obj.chunks) == payload
+
+    def test_invalid_configuration_rejected(self):
+        clock = SimulationClock()
+        with pytest.raises(ValueError):
+            ConnectionManager(clock, window_ms=0)
+        with pytest.raises(ValueError):
+            ConnectionManager(clock, max_object_bytes=0)
+
+    def test_end_to_end_with_compression_engine(self):
+        """CM-produced objects flow straight into the compression engine, and a
+        repeated transfer of the same bytes deduplicates."""
+        clock = SimulationClock()
+        manager = ConnectionManager(clock, window_ms=10.0)
+        clam = CLAM(CLAMConfig.scaled(num_super_tables=4, buffer_capacity_items=64), storage=SSD(clock=clock))
+        engine = CompressionEngine(index=clam)
+
+        payload = random.Random(5).randbytes(32 * 1024)
+        manager.receive("transfer-1", payload)
+        clock.advance(15.0)
+        first_results = [engine.process_object(obj) for obj in manager.poll()]
+        manager.receive("transfer-2", payload)
+        clock.advance(15.0)
+        second_results = [engine.process_object(obj) for obj in manager.poll()]
+
+        first_compressed = sum(result.compressed_bytes for result in first_results)
+        second_compressed = sum(result.compressed_bytes for result in second_results)
+        assert second_compressed < first_compressed / 5

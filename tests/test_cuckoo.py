@@ -1,0 +1,120 @@
+"""Tests for the bucketised cuckoo hash table used by buffers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import CapacityError, CuckooHashTable
+
+
+class TestCuckooBasics:
+    def test_put_and_get(self):
+        table = CuckooHashTable(64)
+        table.put(b"key", b"value")
+        assert table.get(b"key") == b"value"
+
+    def test_missing_key_returns_none(self):
+        assert CuckooHashTable(64).get(b"missing") is None
+
+    def test_update_in_place(self):
+        table = CuckooHashTable(64)
+        table.put(b"key", b"v1")
+        table.put(b"key", b"v2")
+        assert table.get(b"key") == b"v2"
+        assert len(table) == 1
+
+    def test_delete(self):
+        table = CuckooHashTable(64)
+        table.put(b"key", b"value")
+        assert table.delete(b"key") is True
+        assert table.get(b"key") is None
+        assert len(table) == 0
+
+    def test_delete_missing_returns_false(self):
+        assert CuckooHashTable(64).delete(b"nope") is False
+
+    def test_contains(self):
+        table = CuckooHashTable(64)
+        table.put(b"key", b"value")
+        assert b"key" in table
+        assert b"other" not in table
+
+    def test_items_returns_everything(self):
+        table = CuckooHashTable(64)
+        expected = {b"k%d" % i: b"v%d" % i for i in range(20)}
+        for key, value in expected.items():
+            table.put(key, value)
+        assert dict(table.items()) == expected
+
+    def test_clear(self):
+        table = CuckooHashTable(64)
+        table.put(b"key", b"value")
+        table.clear()
+        assert len(table) == 0
+        assert table.get(b"key") is None
+
+    def test_load_factor(self):
+        table = CuckooHashTable(64)
+        for i in range(16):
+            table.put(b"k%d" % i, b"v")
+        assert table.load_factor() == pytest.approx(16 / table.num_slots)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            CuckooHashTable(0)
+
+
+class TestCuckooCapacity:
+    def test_sustains_paper_utilisation(self):
+        """The paper runs buffers at 50% utilisation; the table must comfortably
+        hold that (and more) without displacement failures."""
+        table = CuckooHashTable(256)
+        for i in range(200):  # ~78% load
+            table.put(b"key-%d" % i, b"v")
+        assert len(table) == 200
+
+    def test_overflow_raises_capacity_error_and_preserves_contents(self):
+        table = CuckooHashTable(8)
+        stored = {}
+        with pytest.raises(CapacityError):
+            for i in range(100):
+                key = b"z%d" % i
+                table.put(key, b"v%d" % i)
+                stored[key] = b"v%d" % i
+        # Everything successfully inserted before the failure must still be intact.
+        for key, value in stored.items():
+            assert table.get(key) == value
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.binary(min_size=1, max_size=12), st.binary(min_size=0, max_size=8)),
+            min_size=0,
+            max_size=120,
+        )
+    )
+    def test_property_matches_dict_model(self, pairs):
+        """The cuckoo table behaves exactly like a dict for put/get, up to
+        capacity failures (which leave prior contents untouched)."""
+        table = CuckooHashTable(256)
+        model = {}
+        for key, value in pairs:
+            try:
+                table.put(key, value)
+            except CapacityError:
+                break
+            model[key] = value
+        for key, value in model.items():
+            assert table.get(key) == value
+        assert len(table) == len(model)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.binary(min_size=1, max_size=8), min_size=1, max_size=60, unique=True))
+    def test_property_delete_removes_only_target(self, keys):
+        table = CuckooHashTable(512)
+        for key in keys:
+            table.put(key, key)
+        victim = keys[0]
+        table.delete(victim)
+        assert table.get(victim) is None
+        for key in keys[1:]:
+            assert table.get(key) == key

@@ -1,0 +1,150 @@
+"""Tests for the deduplication pipeline and the content-name directory."""
+
+import pytest
+
+from repro.baselines import DRAMHashIndex, ExternalHashIndex
+from repro.core import CLAM, CLAMConfig
+from repro.dedup import ChunkStore, DedupIndex, merge_indexes
+from repro.dedup.merge import scale_merge_time
+from repro.directory import ContentDirectory
+from repro.flashsim import MagneticDisk, SSD, SimulationClock
+from repro.wanopt.fingerprint import Chunk, fingerprint_bytes
+
+
+def _chunks(count, prefix=b"chunk", size=4096):
+    return [
+        Chunk(fingerprint=fingerprint_bytes(b"%s-%d" % (prefix, i)), size=size)
+        for i in range(count)
+    ]
+
+
+class TestChunkStore:
+    def test_append_and_read(self):
+        store = ChunkStore(MagneticDisk(clock=SimulationClock()))
+        address, latency = store.append(size=1000, payload=b"z" * 1000)
+        assert latency > 0
+        payload, _read_latency = store.read(address)
+        assert payload == b"z" * 1000
+
+    def test_unknown_address_rejected(self):
+        store = ChunkStore(MagneticDisk(clock=SimulationClock()))
+        with pytest.raises(KeyError):
+            store.read(12345)
+
+    def test_dedup_ratio(self):
+        store = ChunkStore(MagneticDisk(clock=SimulationClock()))
+        store.append(size=1000)
+        store.note_duplicate(size=3000)
+        assert store.dedup_ratio == pytest.approx(4.0)
+
+
+class TestDedupIndex:
+    def test_duplicates_suppressed(self):
+        clock = SimulationClock()
+        clam = CLAM(CLAMConfig.scaled(num_super_tables=4, buffer_capacity_items=64), storage=SSD(clock=clock))
+        dedup = DedupIndex(clam, store=ChunkStore(MagneticDisk(clock=clock)))
+        chunks = _chunks(50)
+        dedup.ingest(chunks)
+        dedup.ingest(chunks)  # the second pass is 100% duplicates
+        assert dedup.stats.chunks_stored == 50
+        assert dedup.stats.duplicates_suppressed == 50
+        assert dedup.stats.dedup_ratio == pytest.approx(2.0)
+
+    def test_ingest_chunk_reports_duplicate_flag(self):
+        dedup = DedupIndex(DRAMHashIndex())
+        chunk = _chunks(1)[0]
+        first, _ = dedup.ingest_chunk(chunk)
+        second, _ = dedup.ingest_chunk(chunk)
+        assert first is False
+        assert second is True
+
+    def test_contains(self):
+        dedup = DedupIndex(DRAMHashIndex())
+        chunk = _chunks(1)[0]
+        assert not dedup.contains(chunk.fingerprint)
+        dedup.ingest_chunk(chunk)
+        assert dedup.contains(chunk.fingerprint)
+
+
+class TestIndexMerge:
+    def test_merge_adds_only_new_fingerprints(self):
+        larger = DRAMHashIndex()
+        shared = [(fingerprint_bytes(b"shared-%d" % i), b"addr") for i in range(20)]
+        new = [(fingerprint_bytes(b"new-%d" % i), b"addr") for i in range(30)]
+        for fingerprint, value in shared:
+            larger.insert(fingerprint, value)
+        report = merge_indexes(larger, shared + new)
+        assert report.fingerprints_processed == 50
+        assert report.already_present == 20
+        assert report.new_fingerprints == 30
+        assert report.total_time_ms > 0
+
+    def test_clam_merge_much_faster_than_bdb_merge(self):
+        """The §3 comparison: merging into a CLAM is orders of magnitude faster
+        than merging into a disk-based BDB index."""
+        entries = [(fingerprint_bytes(b"merge-%d" % i), b"addr") for i in range(400)]
+
+        clam = CLAM(CLAMConfig.scaled(num_super_tables=4, buffer_capacity_items=64), storage="intel-ssd")
+        clam_report = merge_indexes(clam, entries)
+
+        bdb = ExternalHashIndex(MagneticDisk(clock=SimulationClock()), cache_pages=0)
+        bdb_report = merge_indexes(bdb, entries)
+
+        assert clam_report.total_time_ms * 20 < bdb_report.total_time_ms
+
+    def test_scale_merge_time(self):
+        larger = DRAMHashIndex()
+        entries = [(fingerprint_bytes(b"x-%d" % i), b"v") for i in range(100)]
+        report = merge_indexes(larger, entries)
+        scaled = scale_merge_time(report, measured_fingerprints=100, target_fingerprints=10_000)
+        assert scaled == pytest.approx(report.total_time_minutes * 100, rel=0.01)
+        with pytest.raises(ValueError):
+            scale_merge_time(report, 0, 10)
+
+
+class TestContentDirectory:
+    def test_publish_and_resolve(self):
+        directory = ContentDirectory(DRAMHashIndex())
+        name = fingerprint_bytes(b"content-1")
+        directory.publish(name, "host-a")
+        directory.publish(name, "host-b")
+        result = directory.resolve(name)
+        assert result.found
+        assert result.hosts == ["host-a", "host-b"]
+
+    def test_duplicate_publish_is_idempotent(self):
+        directory = ContentDirectory(DRAMHashIndex())
+        name = fingerprint_bytes(b"content-2")
+        directory.publish(name, "host-a")
+        registration = directory.publish(name, "host-a")
+        assert registration.hosts_now == 1
+
+    def test_withdraw(self):
+        directory = ContentDirectory(DRAMHashIndex())
+        name = fingerprint_bytes(b"content-3")
+        directory.publish(name, "host-a")
+        directory.withdraw(name, "host-a")
+        assert not directory.resolve(name).found
+
+    def test_unknown_name_resolves_to_nothing(self):
+        directory = ContentDirectory(DRAMHashIndex())
+        assert not directory.resolve(fingerprint_bytes(b"unknown")).found
+
+    def test_host_list_capped(self):
+        directory = ContentDirectory(DRAMHashIndex(), max_hosts_per_name=4)
+        name = fingerprint_bytes(b"popular")
+        for i in range(10):
+            directory.publish(name, "host-%d" % i)
+        assert len(directory.resolve(name).hosts) == 4
+
+    def test_works_on_clam_backend(self):
+        directory = ContentDirectory(
+            CLAM(CLAMConfig.scaled(num_super_tables=4, buffer_capacity_items=64), storage="intel-ssd")
+        )
+        names = [fingerprint_bytes(b"content-%d" % i) for i in range(200)]
+        for i, name in enumerate(names):
+            directory.publish(name, "host-%d" % (i % 5))
+        found = sum(1 for name in names if directory.resolve(name).found)
+        assert found == len(names)
+        assert directory.publishes == 200
+        assert directory.resolutions == 200

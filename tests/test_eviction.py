@@ -1,0 +1,108 @@
+"""Tests for eviction policies (FIFO, LRU, update-based, priority-based)."""
+
+import pytest
+
+from repro.core import (
+    EvictionContext,
+    FIFOEviction,
+    LRUEviction,
+    PriorityBasedEviction,
+    UpdateBasedEviction,
+    make_policy,
+)
+
+
+def _context(deleted=(), superseded=()):
+    deleted_set = set(deleted)
+    superseded_set = set(superseded)
+    return EvictionContext(
+        incarnation_id=0,
+        is_deleted=lambda key: key in deleted_set,
+        superseded=lambda key: key in superseded_set,
+    )
+
+
+ITEMS = {b"a": b"1", b"b": b"2", b"c": b"3", b"d": b"4"}
+
+
+class TestFIFOEviction:
+    def test_retains_nothing(self):
+        assert FIFOEviction().select_retained(dict(ITEMS), _context()) == {}
+
+    def test_is_full_discard(self):
+        policy = FIFOEviction()
+        assert policy.requires_scan is False
+        assert policy.reinsert_on_use is False
+
+
+class TestLRUEviction:
+    def test_retains_nothing_but_reinserts_on_use(self):
+        policy = LRUEviction()
+        assert policy.select_retained(dict(ITEMS), _context()) == {}
+        assert policy.requires_scan is False
+        assert policy.reinsert_on_use is True
+
+
+class TestUpdateBasedEviction:
+    def test_retains_live_items_only(self):
+        policy = UpdateBasedEviction()
+        retained = policy.select_retained(
+            dict(ITEMS), _context(deleted=[b"a"], superseded=[b"b"])
+        )
+        assert retained == {b"c": b"3", b"d": b"4"}
+
+    def test_requires_scan(self):
+        assert UpdateBasedEviction().requires_scan is True
+
+    def test_retains_everything_when_nothing_is_stale(self):
+        policy = UpdateBasedEviction()
+        assert policy.select_retained(dict(ITEMS), _context()) == ITEMS
+
+
+class TestPriorityBasedEviction:
+    def test_threshold_filtering(self):
+        policy = PriorityBasedEviction(
+            priority_fn=lambda key, value: int(value), threshold=3
+        )
+        retained = policy.select_retained(dict(ITEMS), _context())
+        assert retained == {b"c": b"3", b"d": b"4"}
+
+    def test_deleted_items_never_retained(self):
+        policy = PriorityBasedEviction(priority_fn=lambda key, value: 10, threshold=0)
+        retained = policy.select_retained(dict(ITEMS), _context(deleted=[b"a"]))
+        assert b"a" not in retained
+
+    def test_retain_top_k_caps_retention(self):
+        policy = PriorityBasedEviction(
+            priority_fn=lambda key, value: int(value), threshold=0, retain_top_k=2
+        )
+        retained = policy.select_retained(dict(ITEMS), _context())
+        assert len(retained) == 2
+        assert set(retained) == {b"c", b"d"}  # the two highest priorities
+
+    def test_negative_top_k_rejected(self):
+        with pytest.raises(ValueError):
+            PriorityBasedEviction(priority_fn=lambda k, v: 0, threshold=0, retain_top_k=-1)
+
+
+class TestMakePolicy:
+    def test_known_names(self):
+        assert isinstance(make_policy("fifo"), FIFOEviction)
+        assert isinstance(make_policy("lru"), LRUEviction)
+        assert isinstance(make_policy("update"), UpdateBasedEviction)
+        assert isinstance(
+            make_policy("priority", priority_fn=lambda k, v: 0, threshold=1),
+            PriorityBasedEviction,
+        )
+
+    def test_priority_requires_arguments(self):
+        with pytest.raises(ValueError):
+            make_policy("priority")
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy("random-replacement")
+
+    def test_names_are_exposed(self):
+        assert make_policy("fifo").name == "fifo"
+        assert make_policy("update").name == "updatebased"

@@ -1,0 +1,73 @@
+"""Tests for the raw flash chip model (erase-before-write semantics)."""
+
+import pytest
+
+from repro.flashsim import FlashChip, FlashChipError, IOKind, SimulationClock
+
+
+class TestFlashChip:
+    def test_program_then_read(self, flash_chip):
+        flash_chip.write_page(0, b"hello")
+        data, _latency = flash_chip.read_page(0)
+        assert data == b"hello"
+
+    def test_rewriting_dirty_page_rejected(self, flash_chip):
+        flash_chip.write_page(0, b"a")
+        with pytest.raises(FlashChipError):
+            flash_chip.write_page(0, b"b")
+
+    def test_erase_allows_rewrite(self, flash_chip):
+        flash_chip.write_page(0, b"a")
+        flash_chip.erase_block(0)
+        flash_chip.write_page(0, b"b")
+        assert flash_chip.read_page(0)[0] == b"b"
+
+    def test_erase_clears_whole_block(self, flash_chip):
+        pages_per_block = flash_chip.geometry.pages_per_block
+        flash_chip.write_page(0, b"a")
+        flash_chip.write_page(pages_per_block - 1, b"b")
+        flash_chip.erase_block(0)
+        assert not flash_chip.is_dirty(0)
+        assert not flash_chip.is_dirty(pages_per_block - 1)
+        assert flash_chip.read_page(0)[0] == b""
+
+    def test_erase_does_not_touch_other_blocks(self, flash_chip):
+        other = flash_chip.geometry.pages_per_block  # first page of block 1
+        flash_chip.write_page(other, b"keep")
+        flash_chip.erase_block(0)
+        assert flash_chip.read_page(other)[0] == b"keep"
+
+    def test_erase_out_of_range_rejected(self, flash_chip):
+        with pytest.raises(IndexError):
+            flash_chip.erase_block(flash_chip.geometry.num_blocks)
+
+    def test_block_of(self, flash_chip):
+        pages_per_block = flash_chip.geometry.pages_per_block
+        assert flash_chip.block_of(0) == 0
+        assert flash_chip.block_of(pages_per_block) == 1
+
+    def test_erase_counted_per_block(self, flash_chip):
+        flash_chip.erase_block(3)
+        flash_chip.erase_block(3)
+        assert flash_chip.erase_count_per_block[3] == 2
+
+    def test_erase_recorded_in_stats(self, flash_chip):
+        flash_chip.erase_block(0)
+        assert flash_chip.stats.count(IOKind.ERASE) == 1
+
+    def test_write_range_over_dirty_page_rejected(self, flash_chip):
+        flash_chip.write_page(2, b"x")
+        with pytest.raises(FlashChipError):
+            flash_chip.write_range(0, [b"a", b"b", b"c"])
+
+    def test_erase_slower_than_page_write(self):
+        clock = SimulationClock()
+        chip = FlashChip(clock=clock)
+        write_latency = chip.write_page(0, b"a")
+        erase_latency = chip.erase_block(1)
+        assert erase_latency > write_latency
+
+    def test_write_slower_than_read(self, flash_chip):
+        write_latency = flash_chip.write_page(0, b"a")
+        _data, read_latency = flash_chip.read_page(0)
+        assert write_latency > read_latency

@@ -1,0 +1,90 @@
+"""Tests for the page-mapping FTL (logical mapping, garbage collection, TRIM)."""
+
+import pytest
+
+from repro.flashsim import FlashChip, SimulationClock
+from repro.flashsim.device import DeviceGeometry
+from repro.flashsim.flash_chip import FlashChipProfile, GENERIC_FLASH_CHIP_PROFILE
+from repro.flashsim.ftl import PageMappingFTL
+
+
+def _small_chip() -> FlashChip:
+    """A tiny chip so garbage collection triggers quickly in tests."""
+    profile = FlashChipProfile(
+        name="tiny-nand",
+        geometry=DeviceGeometry(page_size=256, pages_per_block=4, num_blocks=8),
+        cost_model=GENERIC_FLASH_CHIP_PROFILE.cost_model,
+    )
+    return FlashChip(profile=profile, clock=SimulationClock())
+
+
+class TestPageMappingFTL:
+    def test_write_then_read(self):
+        ftl = PageMappingFTL(_small_chip())
+        ftl.write(0, b"hello")
+        data, _latency = ftl.read(0)
+        assert data == b"hello"
+
+    def test_unwritten_logical_page_reads_empty(self):
+        ftl = PageMappingFTL(_small_chip())
+        data, _latency = ftl.read(3)
+        assert data == b""
+
+    def test_overwrite_returns_latest_value(self):
+        ftl = PageMappingFTL(_small_chip())
+        ftl.write(1, b"old")
+        ftl.write(1, b"new")
+        assert ftl.read(1)[0] == b"new"
+
+    def test_overwrite_moves_physical_location(self):
+        ftl = PageMappingFTL(_small_chip())
+        ftl.write(1, b"old")
+        first_location = ftl.physical_page_of(1)
+        ftl.write(1, b"new")
+        assert ftl.physical_page_of(1) != first_location
+
+    def test_logical_capacity_below_physical(self):
+        chip = _small_chip()
+        ftl = PageMappingFTL(chip, overprovision_fraction=0.25)
+        assert ftl.logical_pages == int(chip.geometry.total_pages * 0.75)
+
+    def test_out_of_range_logical_page_rejected(self):
+        ftl = PageMappingFTL(_small_chip())
+        with pytest.raises(IndexError):
+            ftl.write(ftl.logical_pages, b"x")
+
+    def test_garbage_collection_reclaims_space(self):
+        ftl = PageMappingFTL(_small_chip(), overprovision_fraction=0.25)
+        # Repeatedly overwrite a small working set far beyond physical capacity;
+        # without GC the chip would run out of clean blocks.
+        for round_number in range(20):
+            for logical in range(4):
+                ftl.write(logical, b"round-%d" % round_number)
+        assert ftl.gc_runs > 0
+        for logical in range(4):
+            assert ftl.read(logical)[0] == b"round-19"
+
+    def test_gc_preserves_live_data(self):
+        ftl = PageMappingFTL(_small_chip(), overprovision_fraction=0.25)
+        ftl.write(5, b"keep-me")
+        for _ in range(15):
+            ftl.write(0, b"churn")
+        assert ftl.read(5)[0] == b"keep-me"
+
+    def test_trim_discards_mapping(self):
+        ftl = PageMappingFTL(_small_chip())
+        ftl.write(2, b"data")
+        ftl.trim(2)
+        assert ftl.read(2)[0] == b""
+        assert ftl.physical_page_of(2) is None
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            PageMappingFTL(_small_chip(), overprovision_fraction=1.5)
+        with pytest.raises(ValueError):
+            PageMappingFTL(_small_chip(), gc_low_watermark_blocks=0)
+
+    def test_write_batch(self):
+        ftl = PageMappingFTL(_small_chip())
+        ftl.write_batch(0, [b"a", b"b", b"c"])
+        assert [ftl.read(i)[0] for i in range(3)] == [b"a", b"b", b"c"]

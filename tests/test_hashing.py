@@ -1,0 +1,88 @@
+"""Tests for the deterministic hashing helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.hashing import double_hashes, fnv1a_64, hash_key, to_key_bytes
+
+
+class TestToKeyBytes:
+    def test_bytes_pass_through(self):
+        assert to_key_bytes(b"abc") == b"abc"
+
+    def test_bytearray_and_memoryview(self):
+        assert to_key_bytes(bytearray(b"abc")) == b"abc"
+        assert to_key_bytes(memoryview(b"abc")) == b"abc"
+
+    def test_string_utf8(self):
+        assert to_key_bytes("héllo") == "héllo".encode("utf-8")
+
+    def test_integer_big_endian(self):
+        assert to_key_bytes(0) == b"\x00"
+        assert to_key_bytes(256) == b"\x01\x00"
+
+    def test_negative_integer_rejected(self):
+        with pytest.raises(ValueError):
+            to_key_bytes(-1)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            to_key_bytes(3.14)
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_distinct_integers_map_to_distinct_bytes(self, value):
+        assert int.from_bytes(to_key_bytes(value), "big") == value
+
+
+class TestFNV:
+    def test_deterministic(self):
+        assert fnv1a_64(b"hello") == fnv1a_64(b"hello")
+
+    def test_seed_changes_value(self):
+        assert fnv1a_64(b"hello", seed=1) != fnv1a_64(b"hello", seed=2)
+
+    def test_different_inputs_differ(self):
+        assert fnv1a_64(b"hello") != fnv1a_64(b"hellp")
+
+    def test_fits_in_64_bits(self):
+        assert 0 <= fnv1a_64(b"anything" * 10) < 2**64
+
+    @given(st.binary(min_size=0, max_size=64))
+    def test_always_in_range(self, data):
+        assert 0 <= fnv1a_64(data) < 2**64
+
+
+class TestHashKey:
+    def test_accepts_all_key_types(self):
+        assert hash_key(b"a") == hash_key(b"a")
+        assert isinstance(hash_key("string"), int)
+        assert isinstance(hash_key(42), int)
+
+    def test_distribution_roughly_uniform(self):
+        buckets = [0] * 16
+        for i in range(16_000):
+            buckets[hash_key(b"key-%d" % i) % 16] += 1
+        assert min(buckets) > 700
+        assert max(buckets) < 1300
+
+
+class TestDoubleHashes:
+    def test_count_and_range(self):
+        values = double_hashes(b"key", count=7, modulus=100)
+        assert len(values) == 7
+        assert all(0 <= v < 100 for v in values)
+
+    def test_deterministic(self):
+        assert double_hashes(b"key", 5, 64) == double_hashes(b"key", 5, 64)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            double_hashes(b"key", 0, 10)
+        with pytest.raises(ValueError):
+            double_hashes(b"key", 3, 0)
+
+    @given(st.binary(min_size=1, max_size=32), st.integers(2, 10), st.integers(8, 1024))
+    def test_property_count_and_range(self, key, count, modulus):
+        values = double_hashes(key, count, modulus)
+        assert len(values) == count
+        assert all(0 <= v < modulus for v in values)

@@ -1,0 +1,120 @@
+"""Tests for incarnation page layout (serialisation, page-addressed lookup)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import KeyTooLargeError, build_pages, search_page
+from repro.core.incarnation import (
+    IncarnationHandle,
+    iter_page_entries,
+    page_index_for_key,
+    page_overflowed,
+)
+
+
+class TestPageIndexForKey:
+    def test_deterministic_and_in_range(self):
+        for i in range(100):
+            index = page_index_for_key(b"key-%d" % i, 16)
+            assert 0 <= index < 16
+            assert index == page_index_for_key(b"key-%d" % i, 16)
+
+    def test_invalid_page_count_rejected(self):
+        with pytest.raises(ValueError):
+            page_index_for_key(b"key", 0)
+
+
+class TestBuildAndSearchPages:
+    def test_round_trip_every_key_found_on_its_probe_path(self):
+        items = {b"key-%d" % i: b"value-%d" % i for i in range(100)}
+        pages = build_pages(items, num_pages=8, page_size=512)
+        assert len(pages) == 8
+        for key, value in items.items():
+            found = self._probe(pages, key)
+            assert found == value
+
+    @staticmethod
+    def _probe(pages, key):
+        """Follow the same probe sequence the super table lookup uses."""
+        start = page_index_for_key(key, len(pages))
+        for offset in range(len(pages)):
+            image = pages[(start + offset) % len(pages)]
+            value, overflowed = search_page(image, key)
+            if value is not None:
+                return value
+            if not overflowed:
+                return None
+        return None
+
+    def test_absent_key_not_found(self):
+        items = {b"key-%d" % i: b"v" for i in range(50)}
+        pages = build_pages(items, num_pages=8, page_size=512)
+        assert self._probe(pages, b"absent") is None
+
+    def test_pages_respect_size_limit(self):
+        items = {b"key-%d" % i: b"v" * 20 for i in range(200)}
+        pages = build_pages(items, num_pages=16, page_size=512)
+        assert all(len(page) <= 512 for page in pages)
+
+    def test_empty_items_produce_empty_pages(self):
+        pages = build_pages({}, num_pages=4, page_size=256)
+        assert len(pages) == 4
+        assert all(list(iter_page_entries(page)) == [] for page in pages)
+
+    def test_overflow_flag_set_when_bucket_spills(self):
+        # Force spilling by using a single tiny page size and many items.
+        items = {b"key-%d" % i: b"v" * 30 for i in range(40)}
+        pages = build_pages(items, num_pages=8, page_size=256)
+        assert any(page_overflowed(page) for page in pages)
+        # And despite spilling, everything remains findable.
+        for key, value in items.items():
+            assert self._probe(pages, key) == value
+
+    def test_item_too_large_for_page_rejected(self):
+        with pytest.raises(KeyTooLargeError):
+            build_pages({b"k": b"v" * 1024}, num_pages=4, page_size=256)
+
+    def test_items_exceeding_total_capacity_rejected(self):
+        items = {b"key-%d" % i: b"v" * 100 for i in range(100)}
+        with pytest.raises(KeyTooLargeError):
+            build_pages(items, num_pages=2, page_size=256)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            build_pages({b"k": b"v"}, num_pages=0, page_size=256)
+        with pytest.raises(ValueError):
+            build_pages({b"k": b"v"}, num_pages=4, page_size=4)
+
+    def test_iter_page_entries_round_trip(self):
+        items = {b"alpha": b"1", b"beta": b"22", b"gamma": b"333"}
+        pages = build_pages(items, num_pages=1, page_size=512)
+        assert dict(iter_page_entries(pages[0])) == items
+
+    def test_search_empty_page(self):
+        value, overflowed = search_page(b"", b"key")
+        assert value is None
+        assert overflowed is False
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.dictionaries(
+            st.binary(min_size=1, max_size=20),
+            st.binary(min_size=0, max_size=20),
+            min_size=0,
+            max_size=60,
+        ),
+        st.integers(min_value=1, max_value=16),
+    )
+    def test_property_round_trip(self, items, num_pages):
+        pages = build_pages(items, num_pages=num_pages, page_size=2048)
+        for key, value in items.items():
+            assert self._probe(pages, key) == value
+
+
+class TestIncarnationHandle:
+    def test_fields(self):
+        handle = IncarnationHandle(incarnation_id=3, address=128, num_pages=4, item_count=57)
+        assert handle.incarnation_id == 3
+        assert handle.address == 128
+        assert handle.num_pages == 4
+        assert handle.item_count == 57

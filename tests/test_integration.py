@@ -1,0 +1,138 @@
+"""End-to-end integration tests crossing several subsystems."""
+
+import pytest
+
+from repro.baselines import ExternalHashIndex
+from repro.core import CLAM, CLAMConfig
+from repro.flashsim import MagneticDisk, SSD, SimulationClock, TRANSCEND_SSD_PROFILE
+from repro.wanopt import (
+    CompressionEngine,
+    ContentCache,
+    Link,
+    WANOptimizer,
+    build_payload_objects,
+)
+from repro.workloads import (
+    WorkloadRunner,
+    WorkloadSpec,
+    build_lookup_then_insert_workload,
+)
+
+
+class TestPaperHeadlineComparisons:
+    """The cross-system comparisons the paper's abstract and intro lead with."""
+
+    def test_clam_orders_of_magnitude_faster_than_bdb(self):
+        """CLAM on SSD vs BDB on disk: 1-2 orders of magnitude on both
+        lookups and inserts (abstract: 0.006/0.06 ms vs ~7 ms)."""
+        config = CLAMConfig.scaled(
+            num_super_tables=16, buffer_capacity_items=128, incarnations_per_table=8
+        )
+        spec = WorkloadSpec(
+            num_keys=6_000,
+            target_lsr=0.4,
+            recency_window=int(config.total_items_capacity(8) * 0.8),
+            seed=99,
+        )
+        operations = build_lookup_then_insert_workload(spec)
+
+        clam = CLAM(config, storage="intel-ssd")
+        clam_report = WorkloadRunner(clam).run(operations)
+
+        bdb = ExternalHashIndex(MagneticDisk(clock=SimulationClock()), cache_pages=32)
+        bdb_report = WorkloadRunner(bdb).run(operations, max_operations=3_000)
+
+        assert clam_report.mean_insert_latency_ms * 100 < bdb_report.mean_insert_latency_ms
+        assert clam_report.mean_lookup_latency_ms * 20 < bdb_report.mean_lookup_latency_ms
+        # Absolute calibration: CLAM latencies land in the paper's regime.
+        assert clam_report.mean_insert_latency_ms < 0.05
+        assert clam_report.mean_lookup_latency_ms < 0.15
+
+    def test_clam_supports_paper_operation_rate(self):
+        """§1: the target systems need >10K hash operations per second; the
+        simulated CLAM sustains that comfortably in simulated time."""
+        clam = CLAM(
+            CLAMConfig.scaled(num_super_tables=16, buffer_capacity_items=128),
+            storage="intel-ssd",
+        )
+        for i in range(5_000):
+            clam.insert(b"rate-key-%d" % i, b"v")
+            clam.lookup(b"rate-key-%d" % (i // 2))
+        assert clam.throughput_ops_per_second() > 10_000
+
+
+class TestRealPayloadWanPipeline:
+    """Drive the real-payload path: Rabin chunking -> SHA-1 -> CLAM -> cache -> link."""
+
+    def test_second_transfer_of_same_content_compresses_away(self):
+        clock = SimulationClock()
+        clam = CLAM(
+            CLAMConfig.scaled(num_super_tables=8, buffer_capacity_items=64),
+            storage=SSD(profile=TRANSCEND_SSD_PROFILE, clock=clock),
+        )
+        cache = ContentCache(MagneticDisk(clock=clock))
+        engine = CompressionEngine(index=clam, content_cache=cache)
+        link = Link(bandwidth_mbps=50.0, clock=clock)
+        optimizer = WANOptimizer(engine=engine, link=link, clock=clock)
+
+        objects = build_payload_objects(
+            num_objects=3, object_size=32 * 1024, redundancy=0.0, seed=3
+        )
+        # First pass: all content is new.
+        first = optimizer.run_throughput_test(objects)
+        # Second pass: the identical objects are transferred again.
+        second = optimizer.run_throughput_test(objects)
+        assert second.total_compressed_bytes < first.total_compressed_bytes / 5
+        assert second.effective_bandwidth_improvement > first.effective_bandwidth_improvement
+
+    def test_content_cache_can_reconstruct_chunks(self):
+        clock = SimulationClock()
+        clam = CLAM(CLAMConfig.scaled(num_super_tables=4, buffer_capacity_items=64), storage=SSD(clock=clock))
+        cache = ContentCache(MagneticDisk(clock=clock))
+        engine = CompressionEngine(index=clam, content_cache=cache)
+        objects = build_payload_objects(num_objects=2, object_size=16 * 1024, redundancy=0.0, seed=9)
+        for obj in objects:
+            engine.process_object(obj)
+        # Every unique chunk is retrievable from the cache byte-for-byte.
+        for obj in objects:
+            for chunk in obj.chunks:
+                payload, _latency = cache.read(chunk.fingerprint)
+                assert payload == chunk.payload
+
+
+class TestEvictionUnderSustainedLoad:
+    def test_clam_remains_correct_across_many_eviction_cycles(self):
+        """Keys inside the retention window are always found with the newest
+        value; evicted keys simply disappear (FIFO semantics)."""
+        config = CLAMConfig.scaled(
+            num_super_tables=4, buffer_capacity_items=32, incarnations_per_table=4
+        )
+        clam = CLAM(config, storage="transcend-ssd")
+        total = 6_000
+        for i in range(total):
+            clam.insert(b"cycle-key-%d" % i, b"value-%d" % i)
+        # Guaranteed-retained suffix: the most recent buffer's worth per table.
+        guaranteed = config.num_super_tables * config.buffer_capacity_items
+        for i in range(total - guaranteed, total):
+            result = clam.lookup(b"cycle-key-%d" % i)
+            assert result.found
+            assert result.value == b"value-%d" % i
+        # Far-older keys have been evicted.
+        assert not clam.lookup(b"cycle-key-0").found
+        assert clam.bufferhash.total_evictions > 0
+
+    def test_update_heavy_load_with_update_based_eviction(self):
+        config = CLAMConfig.scaled(
+            num_super_tables=4,
+            buffer_capacity_items=32,
+            incarnations_per_table=4,
+            eviction_policy_name="update",
+        )
+        clam = CLAM(config, storage="intel-ssd")
+        hot_keys = [b"hot-%d" % i for i in range(50)]
+        for round_number in range(40):
+            for key in hot_keys:
+                clam.insert(key, b"round-%d" % round_number)
+        # All hot keys must resolve to the latest round despite heavy churn.
+        for key in hot_keys:
+            assert clam.lookup(key).value == b"round-39"

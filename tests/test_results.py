@@ -1,0 +1,67 @@
+"""Tests for operation result records and aggregated statistics."""
+
+import pytest
+
+from repro.core import InsertResult, LookupResult, OperationStats, ServedFrom
+
+
+class TestLookupResult:
+    def test_found_property(self):
+        hit = LookupResult(key=b"k", value=b"v", latency_ms=0.1, served_from=ServedFrom.BUFFER)
+        miss = LookupResult(key=b"k", value=None, latency_ms=0.1, served_from=ServedFrom.MISSING)
+        assert hit.found is True
+        assert miss.found is False
+
+
+class TestOperationStats:
+    def test_lookup_aggregates(self):
+        stats = OperationStats()
+        stats.record_lookup(
+            LookupResult(key=b"a", value=b"v", latency_ms=1.0, served_from=ServedFrom.BUFFER)
+        )
+        stats.record_lookup(
+            LookupResult(key=b"b", value=None, latency_ms=3.0, served_from=ServedFrom.MISSING)
+        )
+        assert stats.lookups == 2
+        assert stats.lookup_hits == 1
+        assert stats.mean_lookup_latency_ms == pytest.approx(2.0)
+        assert stats.lookup_latency_max_ms == pytest.approx(3.0)
+        assert stats.lookup_success_rate == pytest.approx(0.5)
+
+    def test_insert_aggregates(self):
+        stats = OperationStats()
+        stats.record_insert(InsertResult(key=b"a", latency_ms=0.5, flushed=True, flash_writes=4))
+        stats.record_insert(InsertResult(key=b"b", latency_ms=1.5))
+        assert stats.inserts == 2
+        assert stats.flushes == 1
+        assert stats.flash_writes == 4
+        assert stats.mean_insert_latency_ms == pytest.approx(1.0)
+
+    def test_empty_stats_safe(self):
+        stats = OperationStats()
+        assert stats.mean_lookup_latency_ms == 0.0
+        assert stats.mean_insert_latency_ms == 0.0
+        assert stats.lookup_success_rate == 0.0
+
+    def test_samples_not_kept_when_disabled(self):
+        stats = OperationStats(keep_samples=False)
+        stats.record_lookup(
+            LookupResult(key=b"a", value=None, latency_ms=1.0, served_from=ServedFrom.MISSING)
+        )
+        assert stats.lookup_latencies_ms == []
+        assert stats.lookups == 1
+
+    def test_false_positive_reads_accumulate(self):
+        stats = OperationStats()
+        stats.record_lookup(
+            LookupResult(
+                key=b"a",
+                value=None,
+                latency_ms=1.0,
+                served_from=ServedFrom.MISSING,
+                flash_reads=2,
+                false_positive_reads=2,
+            )
+        )
+        assert stats.false_positive_reads == 2
+        assert stats.flash_reads == 2

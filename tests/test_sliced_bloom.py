@@ -1,0 +1,106 @@
+"""Tests for the bit-sliced sliding-window Bloom filter array (§5.1.3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import BitSlicedBloomArray, BloomFilter
+
+
+def _filter_with(keys, num_bits=256, num_hashes=4):
+    bloom = BloomFilter(num_bits, num_hashes)
+    bloom.update(keys)
+    return bloom
+
+
+class TestBitSlicedBloomArray:
+    def test_candidates_empty_when_no_incarnations(self):
+        sliced = BitSlicedBloomArray(num_bits=256, num_hashes=4, max_incarnations=4)
+        assert sliced.candidates(b"key") == []
+
+    def test_reports_incarnation_containing_key(self):
+        sliced = BitSlicedBloomArray(num_bits=256, num_hashes=4, max_incarnations=4)
+        sliced.append_filter(_filter_with([b"a", b"b"]), incarnation_id=0)
+        sliced.append_filter(_filter_with([b"c"]), incarnation_id=1)
+        assert 0 in sliced.candidates(b"a")
+        assert 1 in sliced.candidates(b"c")
+
+    def test_no_false_negatives_across_many_incarnations(self):
+        sliced = BitSlicedBloomArray(num_bits=2048, num_hashes=6, max_incarnations=8)
+        keys_by_incarnation = {}
+        for incarnation in range(8):
+            keys = [b"inc%d-key%d" % (incarnation, i) for i in range(50)]
+            keys_by_incarnation[incarnation] = keys
+            sliced.append_filter(_filter_with(keys, num_bits=2048, num_hashes=6), incarnation)
+        for incarnation, keys in keys_by_incarnation.items():
+            for key in keys:
+                assert incarnation in sliced.candidates(key)
+
+    def test_candidates_ordered_newest_first(self):
+        sliced = BitSlicedBloomArray(num_bits=256, num_hashes=4, max_incarnations=4)
+        sliced.append_filter(_filter_with([b"dup"]), incarnation_id=10)
+        sliced.append_filter(_filter_with([b"dup"]), incarnation_id=11)
+        candidates = sliced.candidates(b"dup")
+        assert candidates[0] == 11
+        assert candidates[1] == 10
+
+    def test_eviction_removes_oldest(self):
+        sliced = BitSlicedBloomArray(num_bits=256, num_hashes=4, max_incarnations=2)
+        sliced.append_filter(_filter_with([b"old"]), incarnation_id=0)
+        sliced.append_filter(_filter_with([b"new"]), incarnation_id=1)
+        evicted = sliced.evict_oldest()
+        assert evicted == 0
+        assert sliced.candidates(b"old") == [] or 0 not in sliced.candidates(b"old")
+        assert 1 in sliced.candidates(b"new")
+
+    def test_evict_on_empty_returns_none(self):
+        sliced = BitSlicedBloomArray(num_bits=64, num_hashes=2, max_incarnations=2)
+        assert sliced.evict_oldest() is None
+
+    def test_append_beyond_capacity_rejected(self):
+        sliced = BitSlicedBloomArray(num_bits=64, num_hashes=2, max_incarnations=1)
+        sliced.append_filter(_filter_with([b"a"], num_bits=64, num_hashes=2), 0)
+        with pytest.raises(RuntimeError):
+            sliced.append_filter(_filter_with([b"b"], num_bits=64, num_hashes=2), 1)
+
+    def test_mismatched_filter_geometry_rejected(self):
+        sliced = BitSlicedBloomArray(num_bits=64, num_hashes=2, max_incarnations=2)
+        with pytest.raises(ValueError):
+            sliced.append_filter(BloomFilter(128, 2), 0)
+
+    def test_window_wraps_and_lazily_clears(self):
+        """Cycling far more incarnations than the window holds must stay correct."""
+        sliced = BitSlicedBloomArray(
+            num_bits=512, num_hashes=4, max_incarnations=4, spare_bits=8
+        )
+        for generation in range(40):
+            if sliced.live_count >= 4:
+                sliced.evict_oldest()
+            keys = [b"gen%d-%d" % (generation, i) for i in range(20)]
+            sliced.append_filter(_filter_with(keys, num_bits=512, num_hashes=4), generation)
+            # Every live generation must still be discoverable.
+            for live_generation in range(max(0, generation - 3), generation + 1):
+                assert live_generation in sliced.candidates(b"gen%d-0" % live_generation)
+        assert sliced.lazy_clear_batches > 0
+
+    def test_agrees_with_individual_filters(self):
+        """The sliced organisation must return exactly the incarnations whose
+        individual Bloom filter matches (same bits, same hashes)."""
+        filters = []
+        sliced = BitSlicedBloomArray(num_bits=512, num_hashes=5, max_incarnations=6)
+        for incarnation in range(6):
+            keys = [b"i%d-%d" % (incarnation, i) for i in range(40)]
+            bloom = _filter_with(keys, num_bits=512, num_hashes=5)
+            filters.append((incarnation, bloom))
+            sliced.append_filter(bloom, incarnation)
+        probe_keys = [b"i%d-%d" % (i % 6, i) for i in range(200)] + [b"absent-%d" % i for i in range(200)]
+        for key in probe_keys:
+            expected = {identifier for identifier, bloom in filters if key in bloom}
+            assert set(sliced.candidates(key)) == expected
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.binary(min_size=1, max_size=8), min_size=1, max_size=30, unique=True))
+    def test_property_added_keys_always_candidates(self, keys):
+        sliced = BitSlicedBloomArray(num_bits=512, num_hashes=4, max_incarnations=3)
+        sliced.append_filter(_filter_with(keys, num_bits=512, num_hashes=4), incarnation_id=99)
+        for key in keys:
+            assert 99 in sliced.candidates(key)

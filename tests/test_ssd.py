@@ -1,0 +1,87 @@
+"""Tests for the SSD model, including its garbage-collection dynamics.
+
+The GC behaviour is what drives the paper's key comparison (§7.2.2): small
+random writes degrade the whole device, while BufferHash's occasional large
+sequential flushes leave it healthy.
+"""
+
+import pytest
+
+from repro.flashsim import (
+    SSD,
+    SimulationClock,
+    INTEL_SSD_PROFILE,
+    TRANSCEND_SSD_PROFILE,
+)
+
+
+class TestSSDProfiles:
+    def test_intel_faster_than_transcend_for_random_reads(self):
+        intel = SSD(profile=INTEL_SSD_PROFILE, clock=SimulationClock())
+        transcend = SSD(profile=TRANSCEND_SSD_PROFILE, clock=SimulationClock())
+        _d, intel_latency = intel.read_page(100)
+        _d, transcend_latency = transcend.read_page(100)
+        assert intel_latency < transcend_latency
+
+    def test_intel_faster_than_transcend_for_random_writes(self):
+        intel = SSD(profile=INTEL_SSD_PROFILE, clock=SimulationClock())
+        transcend = SSD(profile=TRANSCEND_SSD_PROFILE, clock=SimulationClock())
+        assert intel.write_page(0, b"x") < transcend.write_page(0, b"x")
+
+    def test_sequential_writes_cheaper_than_random(self, intel_ssd):
+        random_latency = intel_ssd.write_page(1000, b"x" * 512, sequential=False)
+        sequential_latency = intel_ssd.write_page(1001, b"x" * 512, sequential=True)
+        assert sequential_latency < random_latency
+
+
+class TestSSDGarbageCollection:
+    def test_starts_with_full_clean_pool(self, intel_ssd):
+        assert intel_ssd.clean_pool_fraction == pytest.approx(1.0)
+        assert not intel_ssd.in_gc_mode
+
+    def test_sustained_random_writes_enter_gc_mode(self, intel_ssd):
+        writes_needed = (
+            INTEL_SSD_PROFILE.clean_pool_bytes
+            // int(512 * INTEL_SSD_PROFILE.random_write_amplification)
+        ) + 50
+        for i in range(writes_needed):
+            intel_ssd.write_page((i * 37) % intel_ssd.geometry.total_pages, b"x", sequential=False)
+        assert intel_ssd.in_gc_mode
+        assert intel_ssd.gc_stall_count > 0
+
+    def test_gc_mode_inflates_read_latency(self, intel_ssd):
+        _d, healthy_latency = intel_ssd.read_page(0)
+        writes_needed = (
+            INTEL_SSD_PROFILE.clean_pool_bytes
+            // int(512 * INTEL_SSD_PROFILE.random_write_amplification)
+        ) + 50
+        for i in range(writes_needed):
+            intel_ssd.write_page((i * 37) % intel_ssd.geometry.total_pages, b"x", sequential=False)
+        _d, degraded_latency = intel_ssd.read_page(5000)
+        assert degraded_latency > healthy_latency + INTEL_SSD_PROFILE.gc_penalty_ms / 2
+
+    def test_sequential_writes_do_not_trigger_gc(self, intel_ssd):
+        pages = [b"x" * 512 for _ in range(64)]
+        for batch in range(40):
+            intel_ssd.write_range(batch * 64, pages)
+        assert not intel_ssd.in_gc_mode
+
+    def test_idle_time_replenishes_pool(self, clock, intel_ssd):
+        writes_needed = (
+            INTEL_SSD_PROFILE.clean_pool_bytes
+            // int(512 * INTEL_SSD_PROFILE.random_write_amplification)
+        ) + 50
+        for i in range(writes_needed):
+            intel_ssd.write_page((i * 37) % intel_ssd.geometry.total_pages, b"x", sequential=False)
+        assert intel_ssd.in_gc_mode
+        # A long idle period lets background GC rebuild the clean pool.
+        clock.advance(60_000.0)
+        assert not intel_ssd.in_gc_mode
+        assert intel_ssd.clean_pool_fraction == pytest.approx(1.0)
+
+    def test_light_write_load_stays_healthy(self, clock, intel_ssd):
+        """Writes spaced out in time (low rate) never exhaust the clean pool."""
+        for i in range(500):
+            intel_ssd.write_page((i * 37) % intel_ssd.geometry.total_pages, b"x", sequential=False)
+            clock.advance(10.0)  # 10 ms of idle time between writes
+        assert not intel_ssd.in_gc_mode

@@ -1,0 +1,95 @@
+"""Tests for I/O statistics and the percentile helper."""
+
+import pytest
+
+from repro.flashsim import IOEvent, IOKind, IOStats
+from repro.flashsim.stats import percentile
+
+
+def _event(kind=IOKind.READ, nbytes=512, latency=1.0, sequential=False, ts=0.0):
+    return IOEvent(kind=kind, nbytes=nbytes, latency_ms=latency, sequential=sequential, timestamp_ms=ts)
+
+
+class TestIOStats:
+    def test_counts_by_kind(self):
+        stats = IOStats()
+        stats.record(_event(IOKind.READ))
+        stats.record(_event(IOKind.READ))
+        stats.record(_event(IOKind.WRITE))
+        assert stats.count(IOKind.READ) == 2
+        assert stats.count(IOKind.WRITE) == 1
+        assert stats.count(IOKind.ERASE) == 0
+        assert stats.count() == 3
+
+    def test_bytes_moved(self):
+        stats = IOStats()
+        stats.record(_event(nbytes=100))
+        stats.record(_event(nbytes=200))
+        assert stats.bytes_moved(IOKind.READ) == 300
+        assert stats.bytes_moved() == 300
+
+    def test_latency_aggregates(self):
+        stats = IOStats()
+        stats.record(_event(latency=1.0))
+        stats.record(_event(latency=3.0))
+        assert stats.total_latency_ms(IOKind.READ) == pytest.approx(4.0)
+        assert stats.mean_latency_ms(IOKind.READ) == pytest.approx(2.0)
+        assert stats.max_latency_ms(IOKind.READ) == pytest.approx(3.0)
+
+    def test_mean_latency_of_unused_kind_is_zero(self):
+        assert IOStats().mean_latency_ms(IOKind.ERASE) == 0.0
+
+    def test_events_not_kept_by_default(self):
+        stats = IOStats()
+        stats.record(_event())
+        assert stats.events == []
+
+    def test_events_kept_when_requested(self):
+        stats = IOStats(keep_events=True)
+        stats.record(_event())
+        assert len(stats.events) == 1
+
+    def test_sequential_counts(self):
+        stats = IOStats()
+        stats.record(_event(sequential=True))
+        stats.record(_event(sequential=False))
+        assert stats.sequential_counts[IOKind.READ] == 1
+
+    def test_reset(self):
+        stats = IOStats(keep_events=True)
+        stats.record(_event())
+        stats.reset()
+        assert stats.count() == 0
+        assert stats.events == []
+
+    def test_snapshot_keys(self):
+        stats = IOStats()
+        stats.record(_event())
+        snap = stats.snapshot()
+        assert snap["read_ops"] == 1.0
+        assert snap["total_ops"] == 1.0
+        assert "write_mean_ms" in snap
+
+
+class TestPercentile:
+    def test_median_of_odd_list(self):
+        assert percentile([1, 2, 3], 0.5) == 2
+
+    def test_interpolates(self):
+        assert percentile([0, 10], 0.25) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        data = [5, 1, 9, 3]
+        assert percentile(data, 0.0) == 1
+        assert percentile(data, 1.0) == 9
+
+    def test_single_value(self):
+        assert percentile([7.0], 0.9) == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_out_of_range_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
