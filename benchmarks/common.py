@@ -6,6 +6,7 @@ from typing import Dict, Iterable, List, Sequence
 
 from repro.core import CLAM, CLAMConfig
 from repro.flashsim import SimulationClock
+from repro.service import ClusterService
 
 
 def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
@@ -54,6 +55,17 @@ def standard_config(**overrides) -> CLAMConfig:
 def standard_clam(storage: str = "intel-ssd", **config_overrides) -> CLAM:
     """A CLAM on the named storage profile with the standard scaled config."""
     return CLAM(standard_config(**config_overrides), storage=storage)
+
+
+def standard_cluster(
+    num_shards: int = 4, storage: str = "intel-ssd", **config_overrides
+) -> ClusterService:
+    """A sharded cluster whose shards use the standard scaled config."""
+    return ClusterService(
+        num_shards=num_shards,
+        config=standard_config(**config_overrides),
+        storage=storage,
+    )
 
 
 def retention_window(config: CLAMConfig) -> int:

@@ -1,10 +1,38 @@
-"""Setup shim so that editable installs work without the 'wheel' package.
+"""Packaging for the BufferHash/CLAM reproduction.
 
-The environment has no network access and no `wheel` distribution, so PEP 660
-editable installs (which need to build a wheel) fail.  `python setup.py
-develop` / `pip install -e . --no-build-isolation` with this shim falls back
-to the classic setuptools develop path.
+The package lives under ``src/`` (``package_dir`` below), so after
+``pip install -e .`` the ``repro`` package imports without any manual
+``PYTHONPATH=src``.  The environment this repo is developed in has no network
+access and no ``wheel`` distribution, so PEP 660 editable installs (which
+build a wheel) can fail; the classic ``python setup.py develop`` falls back
+to the setuptools develop path.
+
+The library itself is dependency-free (pure standard library); ``pytest`` and
+``pytest-benchmark`` are only needed for the test suite and the benchmarks
+(``pip install -e .[dev]``).
 """
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-bufferhash",
+    version="1.1.0",
+    description=(
+        "Reproduction of 'Cheap and Large CAMs for High Performance "
+        "Data-Intensive Networked Systems' (BufferHash/CLAM, NSDI 2010) "
+        "with a sharded service layer and traffic simulator"
+    ),
+    long_description=__doc__,
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.8",
+    install_requires=[],
+    extras_require={
+        "dev": ["pytest", "pytest-benchmark"],
+    },
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Topic :: System :: Distributed Computing",
+        "Topic :: System :: Filesystems",
+        "Intended Audience :: Science/Research",
+    ],
+)

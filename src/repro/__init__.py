@@ -13,6 +13,10 @@ Subpackages
     The paper's §6 analytical cost models and parameter tuning.
 ``repro.workloads``
     Key/workload generators and the workload runner used by the evaluation.
+``repro.service``
+    Sharded CLAM service layer: consistent-hash routing, batched execution,
+    a cluster facade behind the single-index API, and a multi-client
+    closed-loop traffic simulator.
 ``repro.wanopt``
     The WAN optimizer application (§8): chunking, fingerprint index, link model.
 ``repro.dedup``
@@ -21,6 +25,29 @@ Subpackages
     Content-name resolution directory backed by a CLAM (§3).
 """
 
-__version__ = "1.0.0"
+from repro import (
+    analysis,
+    baselines,
+    core,
+    dedup,
+    directory,
+    flashsim,
+    service,
+    wanopt,
+    workloads,
+)
 
-__all__ = ["__version__"]
+__version__ = "1.1.0"
+
+__all__ = [
+    "__version__",
+    "analysis",
+    "baselines",
+    "core",
+    "dedup",
+    "directory",
+    "flashsim",
+    "service",
+    "wanopt",
+    "workloads",
+]

@@ -36,6 +36,7 @@ from repro.flashsim.disk import MAGNETIC_DISK_PROFILE, MagneticDisk
 from repro.flashsim.dram import DRAMDevice
 from repro.flashsim.flash_chip import FlashChip, GENERIC_FLASH_CHIP_PROFILE
 from repro.flashsim.ssd import INTEL_SSD_PROFILE, SSD, TRANSCEND_SSD_PROFILE
+from repro.flashsim.stats import IOKind
 
 #: Storage names accepted by :func:`build_device` and :class:`CLAM`.
 STORAGE_PROFILES = ("intel-ssd", "transcend-ssd", "disk", "flash-chip", "dram")
@@ -238,6 +239,26 @@ class CLAM:
             return 0.0
         return total_ops / (elapsed_ms / 1000.0)
 
+    def counters(self) -> Dict[str, float]:
+        """Cheap flat snapshot of this instance's counters and device I/O.
+
+        Unlike :meth:`describe`, this copies only O(1) scalars (no latency
+        sample lists, no derived summaries), so a service layer can poll a
+        whole fleet of CLAMs per batch without measurable overhead.  Flash
+        counters come straight from :class:`~repro.flashsim.stats.IOStats`.
+        """
+        summary = self.stats.counters()
+        summary["clock_ms"] = self.clock.now_ms
+        summary.update(self._bufferhash_counters())
+        for kind in IOKind:
+            ops = sum(device.stats.count(kind) for device in self.devices)
+            nbytes = sum(device.stats.bytes_moved(kind) for device in self.devices)
+            busy = sum(device.stats.total_latency_ms(kind) for device in self.devices)
+            summary[f"device_{kind.value}_ops"] = float(ops)
+            summary[f"device_{kind.value}_bytes"] = float(nbytes)
+            summary[f"device_{kind.value}_ms"] = busy
+        return summary
+
     def describe(self) -> Dict[str, float]:
         """Summary dictionary used by benchmarks and examples."""
         summary: Dict[str, float] = {
@@ -250,8 +271,15 @@ class CLAM:
             "lookup_success_rate": self.stats.lookup_success_rate,
             "throughput_ops_per_s": self.throughput_ops_per_second(),
         }
-        if self.bufferhash is not None:
-            summary["flushes"] = float(self.bufferhash.total_flushes)
-            summary["evictions"] = float(self.bufferhash.total_evictions)
-            summary["incarnations"] = float(self.bufferhash.total_incarnations)
+        summary.update(self._bufferhash_counters())
         return summary
+
+    def _bufferhash_counters(self) -> Dict[str, float]:
+        """BufferHash aggregate counters (empty in unbuffered ablation mode)."""
+        if self.bufferhash is None:
+            return {}
+        return {
+            "flushes": float(self.bufferhash.total_flushes),
+            "evictions": float(self.bufferhash.total_evictions),
+            "incarnations": float(self.bufferhash.total_incarnations),
+        }

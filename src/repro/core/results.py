@@ -136,3 +136,26 @@ class OperationStats:
     def lookup_success_rate(self) -> float:
         """Fraction of lookups that found a value."""
         return self.lookup_hits / self.lookups if self.lookups else 0.0
+
+    def counters(self) -> dict:
+        """Cheap flat snapshot of the aggregate counters (no sample lists).
+
+        This is the per-instance stats hook the service layer merges across
+        shards; it deliberately copies only O(1) scalars so polling a large
+        fleet stays inexpensive even mid-run.
+        """
+        return {
+            "lookups": float(self.lookups),
+            "lookup_hits": float(self.lookup_hits),
+            "lookup_latency_total_ms": self.lookup_latency_total_ms,
+            "lookup_latency_max_ms": self.lookup_latency_max_ms,
+            "inserts": float(self.inserts),
+            "insert_latency_total_ms": self.insert_latency_total_ms,
+            "insert_latency_max_ms": self.insert_latency_max_ms,
+            "deletes": float(self.deletes),
+            "flushes": float(self.flushes),
+            "evictions": float(self.evictions),
+            "flash_reads": float(self.flash_reads),
+            "flash_writes": float(self.flash_writes),
+            "false_positive_reads": float(self.false_positive_reads),
+        }

@@ -13,6 +13,9 @@ Public entry points
 -------------------
 :class:`SimulationClock`
     Shared notion of simulated time.
+:class:`ClockEnsemble`
+    Aggregate read-only view over several shard clocks (cluster time = the
+    slowest member, total work = the sum); used by :mod:`repro.service`.
 :class:`FlashChip`
     A raw NAND flash chip with pages, erase blocks and an erase-before-write
     constraint.
@@ -28,7 +31,7 @@ Public entry points
     Calibrated device parameter sets.
 """
 
-from repro.flashsim.clock import SimulationClock
+from repro.flashsim.clock import ClockEnsemble, SimulationClock
 from repro.flashsim.latency import LinearCostModel, IOCost
 from repro.flashsim.stats import IOStats, IOEvent, IOKind
 from repro.flashsim.device import StorageDevice, DeviceGeometry
@@ -40,6 +43,7 @@ from repro.flashsim.disk import MagneticDisk, DiskProfile, MAGNETIC_DISK_PROFILE
 from repro.flashsim.dram import DRAMDevice, DRAM_PROFILE, DRAMProfile
 
 __all__ = [
+    "ClockEnsemble",
     "SimulationClock",
     "LinearCostModel",
     "IOCost",

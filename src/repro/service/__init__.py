@@ -1,0 +1,60 @@
+"""Sharded CLAM service layer: routing, batching, clustering, traffic.
+
+This package turns the single-node CLAM data structure into a simulated
+key-value *service*: a consistent-hash router places keys on N independent
+CLAM shards (each with its own simulated device and clock), a batch executor
+amortises dispatch overhead across per-shard sub-batches, a cluster facade
+exposes the whole fleet through the familiar single-index interface, and a
+closed-loop traffic simulator drives it with M skewed clients.
+
+Quick start::
+
+    from repro.service import ClusterService, TrafficSimulator, TrafficSpec
+
+    cluster = ClusterService(num_shards=4, storage="intel-ssd")
+    cluster.insert(b"fingerprint-1", b"chunk-address-1")
+    assert cluster.lookup(b"fingerprint-1").found
+
+    simulator = TrafficSimulator(cluster, TrafficSpec(num_clients=8, zipf_skew=1.2))
+    simulator.warmup()
+    report = simulator.run()
+    print(report.throughput_ops_per_second, report.hot_shards)
+
+Because :class:`ClusterService` satisfies the same structural
+:class:`~repro.workloads.runner.HashIndex` protocol as a single
+:class:`~repro.core.clam.CLAM`, every existing driver — the workload runner,
+benchmarks and examples — can operate a cluster unchanged.
+"""
+
+from repro.service.batch import (
+    DEFAULT_DISPATCH_OVERHEAD_MS,
+    DEFAULT_ROUTING_COST_MS,
+    BatchExecutor,
+    BatchResult,
+    ShardBatchStats,
+)
+from repro.service.cluster import ClusterService, ClusterStats
+from repro.service.router import RING_SPACE, HandoffStats, ShardRouter
+from repro.service.simulator import (
+    ClientReport,
+    TrafficReport,
+    TrafficSimulator,
+    TrafficSpec,
+)
+
+__all__ = [
+    "BatchExecutor",
+    "BatchResult",
+    "ShardBatchStats",
+    "DEFAULT_DISPATCH_OVERHEAD_MS",
+    "DEFAULT_ROUTING_COST_MS",
+    "ClusterService",
+    "ClusterStats",
+    "ShardRouter",
+    "HandoffStats",
+    "RING_SPACE",
+    "TrafficSimulator",
+    "TrafficSpec",
+    "TrafficReport",
+    "ClientReport",
+]

@@ -1,0 +1,196 @@
+"""Batched execution of hash operations against a sharded CLAM fleet.
+
+Client-facing services rarely dispatch one index operation at a time: they
+collect a batch, route it, and hand each shard its sub-batch in one dispatch.
+:class:`BatchExecutor` models exactly that.  Per-operation *results* are
+identical to issuing the same operations one by one (grouping by shard
+preserves per-key order, and each shard's simulated device is deterministic),
+but the *accounting* differs: the fixed dispatch overhead is paid once per
+shard sub-batch instead of once per operation, and the batch completes when
+the slowest shard finishes — shards run in parallel on independent clocks.
+
+The executor works against any mapping of shard id to an object satisfying
+:class:`repro.workloads.runner.HashIndex`; in practice that is the
+:class:`~repro.service.cluster.ClusterService`'s fleet of CLAMs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.service.router import ShardRouter
+from repro.workloads.runner import apply_operation
+from repro.workloads.workload import Operation, OpKind
+
+#: Simulated cost of handing one sub-batch (or one stand-alone operation) to a
+#: shard: argument marshalling, queueing, the request/response hop.  Batching
+#: amortises this across every operation in the sub-batch.
+DEFAULT_DISPATCH_OVERHEAD_MS = 0.02
+
+#: Simulated front-end cost of routing a single key (one ring lookup).
+DEFAULT_ROUTING_COST_MS = 0.0002
+
+
+@dataclass
+class ShardBatchStats:
+    """What one shard did for one batch."""
+
+    shard_id: str
+    operations: int = 0
+    lookups: int = 0
+    inserts: int = 0
+    updates: int = 0
+    deletes: int = 0
+    lookup_hits: int = 0
+    busy_ms: float = 0.0
+    dispatch_ms: float = 0.0
+    routing_ms: float = 0.0
+    flash_reads: int = 0
+    flash_writes: int = 0
+
+    @property
+    def total_ms(self) -> float:
+        """Completion time for the sub-batch (routing + dispatch + work)."""
+        return self.busy_ms + self.dispatch_ms + self.routing_ms
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one batch: per-op results plus the latency breakdown."""
+
+    #: Result records in the original submission order (LookupResult,
+    #: InsertResult or DeleteResult depending on each operation's kind).
+    results: List[object] = field(default_factory=list)
+    per_shard: Dict[str, ShardBatchStats] = field(default_factory=dict)
+    #: Time spent routing keys, charged to each owning shard's clock so that
+    #: clock-derived durations and makespans share one time base.
+    routing_ms: float = 0.0
+    #: Dispatch overhead actually paid (once per shard touched).
+    dispatch_ms: float = 0.0
+    #: Dispatch overhead the same operations would have paid unbatched.
+    dispatch_ms_unbatched: float = 0.0
+    #: Total shard-side work (sum over shards), excluding routing/dispatch.
+    busy_ms: float = 0.0
+    #: Batch completion time: the slowest shard's sub-batch, all costs in.
+    makespan_ms: float = 0.0
+
+    @property
+    def operations(self) -> int:
+        """Number of operations in the batch."""
+        return len(self.results)
+
+    @property
+    def shards_touched(self) -> int:
+        """Number of distinct shards this batch dispatched to."""
+        return len(self.per_shard)
+
+    @property
+    def dispatch_saved_ms(self) -> float:
+        """Dispatch overhead amortised away relative to unbatched execution."""
+        return self.dispatch_ms_unbatched - self.dispatch_ms
+
+
+class BatchExecutor:
+    """Routes a batch by shard and executes per-shard sub-batches.
+
+    Parameters
+    ----------
+    router:
+        The consistent-hash router deciding key placement.
+    shards:
+        Mapping of shard id to index instance.  Looked up live on every batch,
+        so shards added to or removed from the mapping (and the router) after
+        construction are picked up automatically.
+    dispatch_overhead_ms / routing_cost_ms:
+        Fixed simulated costs; see module docstring.
+    """
+
+    def __init__(
+        self,
+        router: ShardRouter,
+        shards: Mapping[str, object],
+        dispatch_overhead_ms: float = DEFAULT_DISPATCH_OVERHEAD_MS,
+        routing_cost_ms: float = DEFAULT_ROUTING_COST_MS,
+    ) -> None:
+        if dispatch_overhead_ms < 0 or routing_cost_ms < 0:
+            raise ConfigurationError("overhead costs must be non-negative")
+        self.router = router
+        self.shards = shards
+        self.dispatch_overhead_ms = dispatch_overhead_ms
+        self.routing_cost_ms = routing_cost_ms
+
+    def execute(self, operations: Iterable[Operation]) -> BatchResult:
+        """Execute ``operations`` as one batch and return the breakdown."""
+        submitted = list(operations)
+        batch = BatchResult(results=[None] * len(submitted))
+        if not submitted:
+            return batch
+
+        # Route the whole batch up front, preserving submission order within
+        # each shard (same key -> same shard, so per-key order is preserved).
+        groups: Dict[str, List[Tuple[int, Operation]]] = {}
+        for index, operation in enumerate(submitted):
+            shard_id = self.router.route(operation.key)
+            groups.setdefault(shard_id, []).append((index, operation))
+
+        for shard_id, group in groups.items():
+            stats = self._execute_sub_batch(shard_id, group, batch.results)
+            batch.per_shard[shard_id] = stats
+            batch.busy_ms += stats.busy_ms
+            batch.dispatch_ms += stats.dispatch_ms
+            batch.routing_ms += stats.routing_ms
+        batch.dispatch_ms_unbatched = self.dispatch_overhead_ms * len(submitted)
+        batch.makespan_ms = max(stats.total_ms for stats in batch.per_shard.values())
+        return batch
+
+    def _execute_sub_batch(
+        self,
+        shard_id: str,
+        group: List[Tuple[int, Operation]],
+        results: List[object],
+    ) -> ShardBatchStats:
+        try:
+            shard = self.shards[shard_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"router targets shard {shard_id!r} but no such instance exists"
+            ) from None
+        stats = ShardBatchStats(shard_id=shard_id, operations=len(group))
+        stats.dispatch_ms = self.dispatch_overhead_ms
+        stats.routing_ms = self.routing_cost_ms * len(group)
+        clock = getattr(shard, "clock", None)
+        if clock is not None:
+            # Charge routing + dispatch to the owning shard's clock so that
+            # every duration in the system derives from the same time line.
+            clock.advance(stats.dispatch_ms + stats.routing_ms)
+        started_ms = clock.now_ms if clock is not None else 0.0
+        for index, operation in group:
+            result = apply_operation(shard, operation)
+            results[index] = result
+            _count(stats, operation.kind, result)
+        if clock is not None:
+            stats.busy_ms = clock.now_ms - started_ms
+        else:
+            stats.busy_ms = sum(
+                getattr(results[index], "latency_ms", 0.0) for index, _ in group
+            )
+        return stats
+
+
+def _count(stats: ShardBatchStats, kind: OpKind, result) -> None:
+    if kind is OpKind.LOOKUP:
+        stats.lookups += 1
+        if result.found:
+            stats.lookup_hits += 1
+    elif kind is OpKind.INSERT:
+        stats.inserts += 1
+    elif kind is OpKind.UPDATE:
+        stats.updates += 1
+    elif kind is OpKind.DELETE:
+        stats.deletes += 1
+    else:  # pragma: no cover - defensive
+        raise ValueError(f"unknown operation kind {kind!r}")
+    stats.flash_reads += getattr(result, "flash_reads", 0)
+    stats.flash_writes += getattr(result, "flash_writes", 0)

@@ -1,0 +1,297 @@
+"""A fleet of CLAM shards behind a single hash-table facade.
+
+:class:`ClusterService` composes N independent :class:`~repro.core.clam.CLAM`
+instances — each with its own simulated device and clock — behind the exact
+``insert``/``lookup``/``update``/``delete`` interface of a single CLAM
+(:class:`repro.workloads.runner.HashIndex`), so every existing driver (the
+workload runner, the baselines harness, the benchmarks) can operate a whole
+cluster unchanged.  Keys are placed by a consistent-hash
+:class:`~repro.service.router.ShardRouter`; batches go through a
+:class:`~repro.service.batch.BatchExecutor`; cluster time is the
+:class:`~repro.flashsim.clock.ClockEnsemble` view over the shard clocks
+(parallel shards: elapsed time is the slowest member).
+
+:class:`ClusterStats` merges the cheap per-instance counters
+(:meth:`repro.core.clam.CLAM.counters`) across the fleet: flash/DRAM I/O,
+flush/eviction counts, hit rates, plus load-balance measures (hottest shard,
+imbalance factor) that the traffic simulator's hot-shard reporting builds on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.core.clam import CLAM
+from repro.core.config import CLAMConfig
+from repro.core.errors import ConfigurationError
+from repro.core.eviction import EvictionPolicy
+from repro.core.hashing import KeyLike
+from repro.core.results import DeleteResult, InsertResult, LookupResult
+from repro.flashsim.clock import ClockEnsemble, SimulationClock
+from repro.service.batch import (
+    DEFAULT_DISPATCH_OVERHEAD_MS,
+    DEFAULT_ROUTING_COST_MS,
+    BatchExecutor,
+    BatchResult,
+)
+from repro.service.router import HandoffStats, ShardRouter
+from repro.workloads.workload import Operation
+
+
+def imbalance_factor(loads: Iterable[float]) -> float:
+    """Hottest load over the mean load (1.0 = perfectly balanced or idle)."""
+    loads = list(loads)
+    total = sum(loads)
+    if not loads or total == 0:
+        return 1.0
+    return max(loads) / (total / len(loads))
+
+
+class ClusterStats:
+    """Merged statistics over every shard of a :class:`ClusterService`."""
+
+    def __init__(self, shards: Dict[str, CLAM]) -> None:
+        self._shards = shards
+
+    def per_shard(self) -> Dict[str, Dict[str, float]]:
+        """Each shard's cheap counter snapshot (see :meth:`CLAM.counters`)."""
+        return {shard_id: clam.counters() for shard_id, clam in self._shards.items()}
+
+    def combined(self, per_shard: Optional[Dict[str, Dict[str, float]]] = None) -> Dict[str, float]:
+        """Counter snapshot summed across shards.
+
+        ``clock_ms`` and the latency maxima are combined with ``max`` (shards
+        run in parallel); every other counter is additive.  Pass an existing
+        :meth:`per_shard` snapshot to avoid polling the fleet again.
+        """
+        merged: Dict[str, float] = {}
+        max_keys = {"clock_ms", "lookup_latency_max_ms", "insert_latency_max_ms"}
+        if per_shard is None:
+            per_shard = self.per_shard()
+        for counters in per_shard.values():
+            for key, value in counters.items():
+                if key in max_keys:
+                    merged[key] = max(merged.get(key, 0.0), value)
+                else:
+                    merged[key] = merged.get(key, 0.0) + value
+        return merged
+
+    def operations_per_shard(
+        self, per_shard: Optional[Dict[str, Dict[str, float]]] = None
+    ) -> Dict[str, float]:
+        """Hash operations each shard has served."""
+        if per_shard is None:
+            per_shard = self.per_shard()
+        return {
+            shard_id: counters["lookups"] + counters["inserts"] + counters["deletes"]
+            for shard_id, counters in per_shard.items()
+        }
+
+    def hottest_shard(self) -> Tuple[str, float]:
+        """(shard id, operation count) of the most loaded shard."""
+        loads = self.operations_per_shard()
+        if not loads:
+            raise ConfigurationError("cluster has no shards")
+        shard_id = max(loads, key=lambda s: (loads[s], s))
+        return shard_id, loads[shard_id]
+
+    def imbalance_factor(
+        self, per_shard: Optional[Dict[str, Dict[str, float]]] = None
+    ) -> float:
+        """Hottest shard's load over the mean load (1.0 = perfectly balanced)."""
+        return imbalance_factor(self.operations_per_shard(per_shard).values())
+
+
+class ClusterService:
+    """N CLAM shards behind the single-index ``HashIndex`` interface.
+
+    Parameters
+    ----------
+    num_shards:
+        Number of shards to create (ignored when ``shard_ids`` is given).
+    config:
+        Per-shard :class:`CLAMConfig` (each shard gets the full config; size
+        the buffers accordingly).  Defaults to :meth:`CLAMConfig.scaled`.
+    storage:
+        Storage profile name used for every shard's private device.
+    virtual_nodes:
+        Consistent-hash virtual nodes per shard.
+    dispatch_overhead_ms / routing_cost_ms:
+        Service-layer simulated costs; see :mod:`repro.service.batch`.
+    """
+
+    def __init__(
+        self,
+        num_shards: int = 4,
+        config: Optional[CLAMConfig] = None,
+        storage: str = "intel-ssd",
+        virtual_nodes: int = 64,
+        shard_ids: Optional[Iterable[str]] = None,
+        eviction_policy: Optional[EvictionPolicy] = None,
+        keep_latency_samples: bool = True,
+        dispatch_overhead_ms: float = DEFAULT_DISPATCH_OVERHEAD_MS,
+        routing_cost_ms: float = DEFAULT_ROUTING_COST_MS,
+    ) -> None:
+        if shard_ids is not None:
+            names = list(shard_ids)
+        else:
+            if num_shards <= 0:
+                raise ConfigurationError("num_shards must be positive")
+            names = [f"shard-{index}" for index in range(num_shards)]
+        self.config = config if config is not None else CLAMConfig.scaled()
+        self.storage = storage
+        self._eviction_policy = eviction_policy
+        self._keep_latency_samples = keep_latency_samples
+        self.shards: Dict[str, CLAM] = {}
+        self.clock = ClockEnsemble()
+        for name in names:
+            self._build_shard(name)
+        self.router = ShardRouter(names, virtual_nodes=virtual_nodes)
+        self.executor = BatchExecutor(
+            self.router,
+            self.shards,
+            dispatch_overhead_ms=dispatch_overhead_ms,
+            routing_cost_ms=routing_cost_ms,
+        )
+        self.stats = ClusterStats(self.shards)
+
+    def _build_shard(self, shard_id: str) -> CLAM:
+        if shard_id in self.shards:
+            raise ConfigurationError(f"shard {shard_id!r} already exists")
+        clam = CLAM(
+            self.config,
+            storage=self.storage,
+            clock=SimulationClock(),
+            eviction_policy=self._eviction_policy,
+            keep_latency_samples=self._keep_latency_samples,
+        )
+        self.shards[shard_id] = clam
+        self.clock.add(clam.clock)
+        return clam
+
+    # -- HashIndex interface ------------------------------------------------------------
+
+    def shard_for(self, key: KeyLike) -> str:
+        """Shard id that owns ``key``."""
+        return self.router.route(key)
+
+    def _dispatch(self, key: KeyLike) -> CLAM:
+        shard = self.shards[self.router.route(key)]
+        # A stand-alone operation pays routing plus the full dispatch overhead
+        # by itself; batches amortise the dispatch share (see BatchExecutor).
+        shard.clock.advance(
+            self.executor.dispatch_overhead_ms + self.executor.routing_cost_ms
+        )
+        return shard
+
+    def insert(self, key: KeyLike, value: bytes) -> InsertResult:
+        """Insert or update a (key, value) pair on the owning shard."""
+        return self._dispatch(key).insert(key, value)
+
+    def update(self, key: KeyLike, value: bytes) -> InsertResult:
+        """Lazy update (alias of insert), routed to the owning shard."""
+        return self._dispatch(key).update(key, value)
+
+    def lookup(self, key: KeyLike) -> LookupResult:
+        """Look up the most recent value for a key on the owning shard."""
+        return self._dispatch(key).lookup(key)
+
+    def delete(self, key: KeyLike) -> DeleteResult:
+        """Delete a key on the owning shard."""
+        return self._dispatch(key).delete(key)
+
+    def get(self, key: KeyLike) -> Optional[bytes]:
+        """Convenience accessor returning just the value (or ``None``)."""
+        return self.lookup(key).value
+
+    def __contains__(self, key: KeyLike) -> bool:
+        return self.lookup(key).found
+
+    # -- Batched interface --------------------------------------------------------------
+
+    def execute_batch(self, operations: Iterable[Operation]) -> BatchResult:
+        """Execute a batch of operations grouped by shard (see BatchExecutor)."""
+        return self.executor.execute(operations)
+
+    # -- Membership ---------------------------------------------------------------------
+
+    @property
+    def shard_ids(self) -> Tuple[str, ...]:
+        """Current shard names, sorted."""
+        return self.router.shard_ids
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards currently serving."""
+        return len(self.shards)
+
+    def add_shard(self, shard_id: Optional[str] = None) -> HandoffStats:
+        """Provision a new shard and return the key-range handoff it causes.
+
+        The handoff stats describe the fraction of the key space whose owner
+        changed; data migration itself is left to a future rebalancing layer,
+        so keys already resident on other shards keep serving from there only
+        if re-inserted (consistent hashing keeps that moved fraction near
+        ``1/(N+1)`` rather than re-shuffling everything).
+        """
+        if shard_id is None:
+            index = len(self.shards)
+            while f"shard-{index}" in self.shards:
+                index += 1
+            shard_id = f"shard-{index}"
+        self._build_shard(shard_id)
+        return self.router.add_shard(shard_id)
+
+    def remove_shard(self, shard_id: str) -> HandoffStats:
+        """Decommission a shard and return the key-range handoff it causes."""
+        # The router validates presence and refuses to drop the last shard
+        # before mutating anything, so no duplicate guards are needed here.
+        handoff = self.router.remove_shard(shard_id)
+        clam = self.shards.pop(shard_id)
+        self.clock.remove(clam.clock)
+        return handoff
+
+    # -- Reporting ----------------------------------------------------------------------
+
+    def throughput_ops_per_second(self, combined: Optional[Dict[str, float]] = None) -> float:
+        """Cluster-wide hash operations per simulated (parallel) second.
+
+        ``combined`` lets callers that already hold a
+        :meth:`ClusterStats.combined` snapshot avoid polling the fleet again.
+        """
+        if combined is None:
+            combined = self.stats.combined()
+        total_ops = combined.get("lookups", 0.0) + combined.get("inserts", 0.0) + combined.get(
+            "deletes", 0.0
+        )
+        elapsed_ms = self.clock.now_ms
+        if elapsed_ms <= 0:
+            return 0.0
+        return total_ops / (elapsed_ms / 1000.0)
+
+    def describe(self) -> Dict[str, float]:
+        """Summary dictionary in the same spirit as :meth:`CLAM.describe`."""
+        per_shard = self.stats.per_shard()
+        combined = self.stats.combined(per_shard)
+        lookups = combined.get("lookups", 0.0)
+        inserts = combined.get("inserts", 0.0)
+        summary = {
+            "shards": float(self.num_shards),
+            "lookups": lookups,
+            "inserts": inserts,
+            "mean_lookup_ms": (
+                combined.get("lookup_latency_total_ms", 0.0) / lookups if lookups else 0.0
+            ),
+            "mean_insert_ms": (
+                combined.get("insert_latency_total_ms", 0.0) / inserts if inserts else 0.0
+            ),
+            "lookup_success_rate": (
+                combined.get("lookup_hits", 0.0) / lookups if lookups else 0.0
+            ),
+            "flushes": combined.get("flushes", 0.0),
+            "evictions": combined.get("evictions", 0.0),
+            "throughput_ops_per_s": self.throughput_ops_per_second(combined),
+            "imbalance_factor": self.stats.imbalance_factor(per_shard),
+            "clock_skew_ms": self.clock.skew_ms,
+        }
+        return summary

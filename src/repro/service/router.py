@@ -1,0 +1,218 @@
+"""Consistent-hash routing of keys onto CLAM shards.
+
+A :class:`ShardRouter` places ``virtual_nodes`` points per shard on a 64-bit
+hash ring (the same FNV-1a/fmix64 construction the rest of the library uses,
+see :mod:`repro.core.hashing`) and routes each key to the shard owning the
+first ring point at or after the key's hash.  Virtual nodes smooth out the
+ownership imbalance inherent to a handful of physical shards.
+
+Adding or removing a shard produces a :class:`HandoffStats` record describing
+*exactly* which fraction of the key space changed owner — computed from the
+ring arcs themselves rather than by sampling keys — so rebalancing
+experiments can report the volume of data a migration would move.  Consistent
+hashing's monotonicity guarantee shows up directly in those stats: on
+``add_shard`` every moved arc is gained by the new shard; on ``remove_shard``
+every moved arc is lost by the departing one.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.core.hashing import KeyLike, hash_key, to_key_bytes
+
+#: Size of the hash ring (64-bit hash space).
+RING_SPACE = 1 << 64
+
+#: Seed separating ring-point hashing from every other hash use in the repo.
+_RING_SEED = 0x5A4D
+
+
+@dataclass(frozen=True)
+class HandoffStats:
+    """Exact key-space ownership change caused by one ring mutation.
+
+    Fractions are of the whole key space (0..1).  ``gained_fraction`` and
+    ``lost_fraction`` map shard id to the fraction of the space that shard
+    gained/lost; the two sides always balance (sum gained == sum lost ==
+    ``moved_fraction``).
+    """
+
+    added: Tuple[str, ...] = ()
+    removed: Tuple[str, ...] = ()
+    moved_fraction: float = 0.0
+    gained_fraction: Dict[str, float] = field(default_factory=dict)
+    lost_fraction: Dict[str, float] = field(default_factory=dict)
+
+    def estimated_keys_moved(self, total_keys: int) -> int:
+        """Keys a migration would move out of ``total_keys`` uniformly hashed keys."""
+        return round(self.moved_fraction * total_keys)
+
+
+def _ring_point(shard_id: str, vnode: int) -> int:
+    return hash_key(to_key_bytes(shard_id) + b"#%d" % vnode, seed=_RING_SEED)
+
+
+class ShardRouter:
+    """Deterministic consistent-hash router over named shards.
+
+    Parameters
+    ----------
+    shard_ids:
+        Initial shard names (order-insensitive; routing depends only on the
+        set of names and ``virtual_nodes``).
+    virtual_nodes:
+        Ring points per shard.  More virtual nodes give a more uniform split
+        at the cost of a marginally larger ring (routing stays O(log n)).
+    """
+
+    def __init__(self, shard_ids: Iterable[str], virtual_nodes: int = 64) -> None:
+        if virtual_nodes <= 0:
+            raise ConfigurationError("virtual_nodes must be positive")
+        self.virtual_nodes = virtual_nodes
+        self._owners: Dict[int, str] = {}
+        self._points: List[int] = []
+        self._shards: List[str] = []
+        initial = list(shard_ids)
+        if not initial:
+            raise ConfigurationError("ShardRouter needs at least one shard")
+        if len(set(initial)) != len(initial):
+            raise ConfigurationError("shard ids must be unique")
+        for shard_id in initial:
+            self._place_shard(shard_id)
+        self._rebuild_index()
+
+    # -- Ring maintenance ---------------------------------------------------------------
+
+    def _place_shard(self, shard_id: str) -> None:
+        self._shards.append(shard_id)
+        for vnode in range(self.virtual_nodes):
+            point = _ring_point(shard_id, vnode)
+            incumbent = self._owners.get(point)
+            # Hash collisions between 64-bit ring points are vanishingly rare;
+            # break ties deterministically so routing never depends on
+            # insertion order.
+            if incumbent is None or shard_id < incumbent:
+                self._owners[point] = shard_id
+
+    def _rebuild_index(self) -> None:
+        self._points = sorted(self._owners)
+
+    def _rebuild_owners(self) -> None:
+        self._owners = {}
+        shards, self._shards = self._shards, []
+        for shard_id in shards:
+            self._place_shard(shard_id)
+        self._rebuild_index()
+
+    # -- Introspection ------------------------------------------------------------------
+
+    @property
+    def shard_ids(self) -> Tuple[str, ...]:
+        """Current shard names, sorted."""
+        return tuple(sorted(self._shards))
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, shard_id: str) -> bool:
+        return shard_id in self._shards
+
+    def ownership_fractions(self) -> Dict[str, float]:
+        """Exact fraction of the key space each shard owns (sums to 1)."""
+        fractions: Dict[str, float] = {shard_id: 0.0 for shard_id in self._shards}
+        for start, end, owner in self._arcs():
+            fractions[owner] += ((end - start) % RING_SPACE or RING_SPACE) / RING_SPACE
+        return fractions
+
+    def _arcs(self) -> List[Tuple[int, int, str]]:
+        """Ring arcs as (start_exclusive, end_inclusive, owner) triples."""
+        if not self._points:
+            return []
+        arcs = []
+        previous = self._points[-1]
+        for point in self._points:
+            arcs.append((previous, point, self._owners[point]))
+            previous = point
+        return arcs
+
+    # -- Routing ------------------------------------------------------------------------
+
+    def route(self, key: KeyLike) -> str:
+        """Shard owning ``key``: first ring point at or after the key's hash."""
+        position = bisect_left(self._points, hash_key(key, seed=_RING_SEED))
+        if position == len(self._points):
+            position = 0
+        return self._owners[self._points[position]]
+
+    def route_many(self, keys: Iterable[KeyLike]) -> List[str]:
+        """Shard owner for each key, in order."""
+        return [self.route(key) for key in keys]
+
+    # -- Membership changes -------------------------------------------------------------
+
+    def add_shard(self, shard_id: str) -> HandoffStats:
+        """Add a shard and report the exact ownership handoff it causes."""
+        if shard_id in self._shards:
+            raise ConfigurationError(f"shard {shard_id!r} already present")
+        before = self._arcs()
+        self._place_shard(shard_id)
+        self._rebuild_index()
+        return self._diff(before, added=(shard_id,))
+
+    def remove_shard(self, shard_id: str) -> HandoffStats:
+        """Remove a shard and report the exact ownership handoff it causes."""
+        if shard_id not in self._shards:
+            raise ConfigurationError(f"shard {shard_id!r} not present")
+        if len(self._shards) == 1:
+            raise ConfigurationError("cannot remove the last shard")
+        before = self._arcs()
+        self._shards.remove(shard_id)
+        self._rebuild_owners()
+        return self._diff(before, removed=(shard_id,))
+
+    def _diff(
+        self,
+        before: Sequence[Tuple[int, int, str]],
+        added: Tuple[str, ...] = (),
+        removed: Tuple[str, ...] = (),
+    ) -> HandoffStats:
+        """Exact ownership diff between a previous arc set and the current ring."""
+
+        def owner_at(arcs: Sequence[Tuple[int, int, str]], ends: List[int], point: int) -> str:
+            # Arcs are (start_exclusive, end_inclusive, owner) with ends sorted;
+            # the owner of `point` is the arc whose inclusive end is the first
+            # ring point >= point.
+            position = bisect_left(ends, point)
+            if position == len(ends):
+                position = 0
+            return arcs[position][2]
+
+        after = self._arcs()
+        ends_before = [arc[1] for arc in before]
+        ends_after = [arc[1] for arc in after]
+        boundaries = sorted({arc[1] for arc in before} | {arc[1] for arc in after})
+        moved = 0
+        gained: Dict[str, int] = {}
+        lost: Dict[str, int] = {}
+        previous = boundaries[-1]
+        for point in boundaries:
+            length = (point - previous) % RING_SPACE or RING_SPACE
+            previous = point
+            old_owner = owner_at(before, ends_before, point)
+            new_owner = owner_at(after, ends_after, point)
+            if old_owner == new_owner:
+                continue
+            moved += length
+            gained[new_owner] = gained.get(new_owner, 0) + length
+            lost[old_owner] = lost.get(old_owner, 0) + length
+        return HandoffStats(
+            added=added,
+            removed=removed,
+            moved_fraction=moved / RING_SPACE,
+            gained_fraction={s: n / RING_SPACE for s, n in gained.items()},
+            lost_fraction={s: n / RING_SPACE for s, n in lost.items()},
+        )

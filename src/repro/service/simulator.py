@@ -1,0 +1,294 @@
+"""Closed-loop multi-client traffic against a sharded CLAM cluster.
+
+The paper's motivating deployments (WAN optimizers, dedup farms, content
+directories) serve many concurrent clients, each issuing its next request
+only after the previous one completes — a *closed loop*.  The simulator
+models M such clients over one :class:`~repro.service.cluster.ClusterService`:
+
+* Each client owns a deterministic RNG and a Zipf-skewed key generator
+  (:class:`repro.workloads.keygen.ZipfKeyGenerator`), so a few hot keys —
+  and therefore a few hot shards — dominate, exactly the skew that makes
+  load balancing interesting.
+* Clients submit fixed-size batches; each batch's simulated completion time
+  (the :class:`~repro.service.batch.BatchResult` makespan plus think time)
+  advances that client's private timeline.  The client with the earliest
+  timeline goes next, so submission interleaving emerges from the latencies
+  themselves rather than a fixed round-robin.
+* The report aggregates per-client and per-shard load, end-to-end request
+  latency percentiles, and flags **hot shards** whose share of operations
+  exceeds ``hot_shard_threshold`` times the mean.
+
+Everything is deterministic given the spec's seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.service.cluster import ClusterService, imbalance_factor
+from repro.workloads.keygen import ZipfKeyGenerator, fingerprint_for
+from repro.workloads.metrics import LatencySummary, summarize_latencies
+from repro.workloads.workload import Operation, OpKind
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """Declarative description of a multi-client traffic pattern.
+
+    Attributes
+    ----------
+    num_clients:
+        Number of concurrent closed-loop clients.
+    requests_per_client:
+        Batched requests each client issues over the run.
+    batch_size:
+        Operations per request batch (1 = unbatched single operations).
+    lookup_fraction / update_fraction / delete_fraction:
+        Operation mix; the remainder are inserts of new keys.
+    key_space:
+        Distinct keys the Zipf generator draws from.
+    zipf_skew:
+        Zipf exponent; higher values concentrate traffic on fewer keys.
+    value_size:
+        Size of generated values in bytes.
+    think_time_ms:
+        Simulated client-side pause between a response and the next request.
+    hot_shard_threshold:
+        A shard is flagged hot when its operation share exceeds this multiple
+        of the mean per-shard share.
+    seed:
+        Master seed; each client derives an independent substream.
+    """
+
+    num_clients: int = 8
+    requests_per_client: int = 50
+    batch_size: int = 8
+    lookup_fraction: float = 0.5
+    update_fraction: float = 0.1
+    delete_fraction: float = 0.0
+    key_space: int = 5_000
+    zipf_skew: float = 1.1
+    value_size: int = 8
+    think_time_ms: float = 0.0
+    hot_shard_threshold: float = 1.5
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.num_clients <= 0:
+            raise ValueError("num_clients must be positive")
+        if self.requests_per_client <= 0:
+            raise ValueError("requests_per_client must be positive")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        for name in ("lookup_fraction", "update_fraction", "delete_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if self.lookup_fraction + self.update_fraction + self.delete_fraction > 1.0:
+            raise ValueError("operation fractions must sum to at most 1")
+        if self.key_space <= 0:
+            raise ValueError("key_space must be positive")
+        if self.zipf_skew <= 0:
+            raise ValueError("zipf_skew must be positive")
+        if self.value_size < 0:
+            raise ValueError("value_size must be non-negative")
+        if self.think_time_ms < 0:
+            raise ValueError("think_time_ms must be non-negative")
+        if self.hot_shard_threshold < 1.0:
+            raise ValueError("hot_shard_threshold must be at least 1")
+
+
+@dataclass
+class ClientReport:
+    """One client's view of the run."""
+
+    client_id: int
+    requests: int = 0
+    operations: int = 0
+    finish_time_ms: float = 0.0
+    request_latencies_ms: List[float] = field(default_factory=list)
+
+    @property
+    def mean_request_latency_ms(self) -> float:
+        """Mean end-to-end latency of this client's requests."""
+        if not self.request_latencies_ms:
+            return 0.0
+        return sum(self.request_latencies_ms) / len(self.request_latencies_ms)
+
+
+@dataclass
+class TrafficReport:
+    """Aggregate outcome of one simulated traffic run."""
+
+    spec: TrafficSpec
+    operations: int = 0
+    requests: int = 0
+    duration_ms: float = 0.0
+    clients: List[ClientReport] = field(default_factory=list)
+    ops_per_shard: Dict[str, int] = field(default_factory=dict)
+    busy_ms_per_shard: Dict[str, float] = field(default_factory=dict)
+    hot_shards: List[str] = field(default_factory=list)
+    dispatch_saved_ms: float = 0.0
+    lookup_hits: int = 0
+    lookups: int = 0
+
+    @property
+    def throughput_ops_per_second(self) -> float:
+        """Operations completed per simulated second of the whole run."""
+        if self.duration_ms <= 0:
+            return 0.0
+        return self.operations / (self.duration_ms / 1000.0)
+
+    @property
+    def lookup_success_rate(self) -> float:
+        """Fraction of lookups that found a value."""
+        return self.lookup_hits / self.lookups if self.lookups else 0.0
+
+    @property
+    def imbalance_factor(self) -> float:
+        """Hottest shard's operation share over the mean share."""
+        return imbalance_factor(self.ops_per_shard.values())
+
+    def request_latency_summary(self) -> LatencySummary:
+        """Latency summary over every request in the run."""
+        samples: List[float] = []
+        for client in self.clients:
+            samples.extend(client.request_latencies_ms)
+        return summarize_latencies(samples)
+
+
+def _value_for(key: bytes, size: int) -> bytes:
+    """A deterministic ``size``-byte value derived from the key."""
+    if size == 0:
+        return b""
+    return (key * (size // max(1, len(key)) + 1))[:size]
+
+
+class _Client:
+    """Deterministic operation source for one simulated client."""
+
+    def __init__(self, client_id: int, spec: TrafficSpec) -> None:
+        self.client_id = client_id
+        self._spec = spec
+        self._rng = random.Random((spec.seed << 8) ^ client_id)
+        self._keys = ZipfKeyGenerator(
+            key_space=spec.key_space,
+            skew=spec.zipf_skew,
+            seed=(spec.seed << 8) ^ (client_id + 0x9E37),
+        )
+        self._next_fresh = 0
+
+    def next_batch(self) -> List[Operation]:
+        spec = self._spec
+        operations: List[Operation] = []
+        for _ in range(spec.batch_size):
+            draw = self._rng.random()
+            if draw < spec.lookup_fraction:
+                operations.append(Operation(OpKind.LOOKUP, self._keys.next_key()))
+            elif draw < spec.lookup_fraction + spec.update_fraction:
+                key = self._keys.next_key()
+                operations.append(Operation(OpKind.UPDATE, key, self._value_for(key)))
+            elif draw < spec.lookup_fraction + spec.update_fraction + spec.delete_fraction:
+                operations.append(Operation(OpKind.DELETE, self._keys.next_key()))
+            else:
+                key = fingerprint_for(
+                    self._next_fresh,
+                    namespace=b"client-%d-%d" % (self.client_id, spec.seed),
+                )
+                self._next_fresh += 1
+                operations.append(Operation(OpKind.INSERT, key, self._value_for(key)))
+        return operations
+
+    def _value_for(self, key: bytes) -> bytes:
+        return _value_for(key, self._spec.value_size)
+
+
+class TrafficSimulator:
+    """Runs a :class:`TrafficSpec` against a cluster and reports the outcome."""
+
+    def __init__(self, cluster: ClusterService, spec: Optional[TrafficSpec] = None) -> None:
+        self.cluster = cluster
+        self.spec = spec if spec is not None else TrafficSpec()
+
+    def warmup(self, num_keys: Optional[int] = None) -> int:
+        """Pre-populate the cluster with the hottest Zipf keys.
+
+        Closed-loop lookup traffic against an empty cluster would miss on
+        every key; inserting the ``num_keys`` most popular identifiers first
+        gives lookups a realistic hit rate.  Returns the keys inserted.
+        """
+        spec = self.spec
+        count = num_keys if num_keys is not None else min(spec.key_space, 1_000)
+        operations = []
+        for identifier in range(count):
+            key = fingerprint_for(identifier)
+            operations.append(Operation(OpKind.INSERT, key, _value_for(key, spec.value_size)))
+        self.cluster.execute_batch(operations)
+        return count
+
+    def run(self) -> TrafficReport:
+        """Execute the full closed-loop run and return the aggregate report."""
+        spec = self.spec
+        report = TrafficReport(spec=spec)
+        clients = [_Client(client_id, spec) for client_id in range(spec.num_clients)]
+        reports = [ClientReport(client_id=c.client_id) for c in clients]
+        # Min-heap of (client_time_ms, client_id): the client whose timeline
+        # is furthest behind submits next, like an event-driven scheduler.
+        ready: List[Tuple[float, int]] = [(0.0, c.client_id) for c in clients]
+        heapq.heapify(ready)
+        remaining = [spec.requests_per_client] * spec.num_clients
+        # Pre-seed every serving shard so idle shards count toward the mean in
+        # imbalance and hot-shard calculations (all-zero entries are honest:
+        # an idle shard is the strongest signal of imbalance).
+        report.ops_per_shard = {shard_id: 0 for shard_id in self.cluster.shard_ids}
+        report.busy_ms_per_shard = {shard_id: 0.0 for shard_id in self.cluster.shard_ids}
+
+        while ready:
+            client_time, client_id = heapq.heappop(ready)
+            batch = self.cluster.execute_batch(clients[client_id].next_batch())
+            latency = batch.makespan_ms
+            client_report = reports[client_id]
+            client_report.requests += 1
+            client_report.operations += batch.operations
+            client_report.request_latencies_ms.append(latency)
+            client_report.finish_time_ms = client_time + latency
+            report.requests += 1
+            report.operations += batch.operations
+            report.dispatch_saved_ms += batch.dispatch_saved_ms
+            for shard_id, stats in batch.per_shard.items():
+                report.ops_per_shard[shard_id] = (
+                    report.ops_per_shard.get(shard_id, 0) + stats.operations
+                )
+                report.busy_ms_per_shard[shard_id] = (
+                    report.busy_ms_per_shard.get(shard_id, 0.0) + stats.busy_ms
+                )
+                report.lookups += stats.lookups
+                report.lookup_hits += stats.lookup_hits
+            remaining[client_id] -= 1
+            if remaining[client_id] > 0:
+                heapq.heappush(
+                    ready,
+                    (client_report.finish_time_ms + spec.think_time_ms, client_id),
+                )
+
+        report.clients = reports
+        report.duration_ms = max((c.finish_time_ms for c in reports), default=0.0)
+        report.hot_shards = self._detect_hot_shards(report)
+        return report
+
+    def _detect_hot_shards(self, report: TrafficReport) -> List[str]:
+        # run() pre-seeds ops_per_shard with every serving shard, so the mean
+        # already reflects the whole fleet, idle shards included.
+        loads = report.ops_per_shard
+        if not loads:
+            return []
+        mean = sum(loads.values()) / len(loads)
+        if mean == 0:
+            return []
+        threshold = self.spec.hot_shard_threshold * mean
+        return sorted(
+            shard_id for shard_id, operations in loads.items() if operations > threshold
+        )

@@ -31,7 +31,13 @@ from repro.workloads.workload import (
     preload_keys_for,
 )
 from repro.workloads.metrics import LatencySummary, summarize_latencies, cdf_points, ccdf_points
-from repro.workloads.runner import RunReport, WorkloadRunner
+from repro.workloads.runner import (
+    BatchHashIndex,
+    HashIndex,
+    RunReport,
+    WorkloadRunner,
+    apply_operation,
+)
 
 __all__ = [
     "KeyGenerator",
@@ -52,4 +58,7 @@ __all__ = [
     "ccdf_points",
     "RunReport",
     "WorkloadRunner",
+    "HashIndex",
+    "BatchHashIndex",
+    "apply_operation",
 ]

@@ -33,6 +33,37 @@ class HashIndex(Protocol):
         ...
 
 
+class BatchHashIndex(HashIndex, Protocol):
+    """A hash index that can additionally execute grouped batches.
+
+    :class:`repro.service.cluster.ClusterService` is the canonical
+    implementation; ``execute_batch`` returns an object exposing ``results``
+    (per-operation result records in submission order).
+    """
+
+    def execute_batch(self, operations):  # pragma: no cover - protocol
+        ...
+
+
+def apply_operation(index: HashIndex, operation: Operation):
+    """Dispatch one workload operation to ``index`` and return its result record.
+
+    The dispatch switch shared by the sequential runner and the service
+    layer's batch executor.  Accounting switches (``_record`` here,
+    ``_count`` in :mod:`repro.service.batch`) fold results into different
+    report shapes and must also learn about any future operation kind.
+    """
+    if operation.kind is OpKind.LOOKUP:
+        return index.lookup(operation.key)
+    if operation.kind is OpKind.INSERT:
+        return index.insert(operation.key, operation.value)
+    if operation.kind is OpKind.UPDATE:
+        return index.update(operation.key, operation.value)
+    if operation.kind is OpKind.DELETE:
+        return index.delete(operation.key)
+    raise ValueError(f"unknown operation kind {operation.kind!r}")
+
+
 @dataclass
 class RunReport:
     """Everything an experiment needs to know about one workload run."""
@@ -121,30 +152,75 @@ class WorkloadRunner:
         for index, operation in enumerate(operations):
             if max_operations is not None and index >= max_operations:
                 break
-            report.operations += 1
-            if operation.kind is OpKind.LOOKUP:
-                result = self.index.lookup(operation.key)
-                report.lookups += 1
-                if result.found:
-                    report.lookup_hits += 1
-                if keep_samples:
-                    report.lookup_latencies_ms.append(result.latency_ms)
-                    report.lookup_flash_reads.append(result.flash_reads)
-            elif operation.kind is OpKind.INSERT:
-                result = self.index.insert(operation.key, operation.value)
-                report.inserts += 1
-                if keep_samples:
-                    report.insert_latencies_ms.append(result.latency_ms)
-            elif operation.kind is OpKind.UPDATE:
-                result = self.index.update(operation.key, operation.value)
-                report.updates += 1
-                if keep_samples:
-                    report.insert_latencies_ms.append(result.latency_ms)
-            elif operation.kind is OpKind.DELETE:
-                self.index.delete(operation.key)
-                report.deletes += 1
-            else:  # pragma: no cover - defensive
-                raise ValueError(f"unknown operation kind {operation.kind!r}")
+            result = apply_operation(self.index, operation)
+            _record(report, operation, result, keep_samples)
         if self.clock is not None:
             report.simulated_duration_ms = self.clock.now_ms - start_ms
         return report
+
+    def run_batched(
+        self,
+        operations: Iterable[Operation],
+        batch_size: int = 64,
+        keep_samples: bool = True,
+        max_operations: Optional[int] = None,
+    ) -> RunReport:
+        """Execute ``operations`` in fixed-size batches via ``execute_batch``.
+
+        Requires the index to satisfy :class:`BatchHashIndex` (e.g. a
+        :class:`repro.service.cluster.ClusterService`).  Per-operation results
+        are folded into the same :class:`RunReport` shape as :meth:`run`, so
+        sequential and batched executions of one workload compare directly.
+        """
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        execute_batch = getattr(self.index, "execute_batch", None)
+        if execute_batch is None:
+            raise TypeError(
+                f"{type(self.index).__name__} does not support batched execution"
+            )
+        report = RunReport()
+        start_ms = self.clock.now_ms if self.clock is not None else 0.0
+        pending: List[Operation] = []
+        for index, operation in enumerate(operations):
+            if max_operations is not None and index >= max_operations:
+                break
+            pending.append(operation)
+            if len(pending) >= batch_size:
+                self._flush_batch(execute_batch, pending, report, keep_samples)
+                pending = []
+        if pending:
+            self._flush_batch(execute_batch, pending, report, keep_samples)
+        if self.clock is not None:
+            report.simulated_duration_ms = self.clock.now_ms - start_ms
+        return report
+
+    @staticmethod
+    def _flush_batch(execute_batch, pending: List[Operation], report: RunReport, keep_samples: bool) -> None:
+        batch = execute_batch(pending)
+        for operation, result in zip(pending, batch.results):
+            _record(report, operation, result, keep_samples)
+
+
+def _record(report: RunReport, operation: Operation, result, keep_samples: bool) -> None:
+    """Fold one operation's result record into the report."""
+    report.operations += 1
+    if operation.kind is OpKind.LOOKUP:
+        report.lookups += 1
+        if result.found:
+            report.lookup_hits += 1
+        if keep_samples:
+            report.lookup_latencies_ms.append(result.latency_ms)
+            report.lookup_flash_reads.append(result.flash_reads)
+    elif operation.kind is OpKind.INSERT:
+        report.inserts += 1
+        if keep_samples:
+            report.insert_latencies_ms.append(result.latency_ms)
+    elif operation.kind is OpKind.UPDATE:
+        report.updates += 1
+        if keep_samples:
+            report.insert_latencies_ms.append(result.latency_ms)
+    elif operation.kind is OpKind.DELETE:
+        report.deletes += 1
+    else:  # pragma: no cover - defensive
+        raise ValueError(f"unknown operation kind {operation.kind!r}")

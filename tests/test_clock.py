@@ -1,8 +1,8 @@
-"""Tests for the simulation clock."""
+"""Tests for the simulation clock and the multi-clock ensemble view."""
 
 import pytest
 
-from repro.flashsim import SimulationClock
+from repro.flashsim import ClockEnsemble, SimulationClock
 
 
 class TestSimulationClock:
@@ -61,3 +61,69 @@ class TestSimulationClock:
     def test_reset_negative_rejected(self):
         with pytest.raises(ValueError):
             SimulationClock().reset(to_ms=-5.0)
+
+
+class TestClockEnsemble:
+    def test_empty_ensemble_reads_zero(self):
+        ensemble = ClockEnsemble()
+        assert ensemble.now_ms == 0.0
+        assert ensemble.busy_ms == 0.0
+        assert ensemble.skew_ms == 0.0
+        assert len(ensemble) == 0
+
+    def test_now_is_slowest_member(self):
+        a, b, c = SimulationClock(), SimulationClock(), SimulationClock()
+        ensemble = ClockEnsemble([a, b, c])
+        a.advance(5.0)
+        b.advance(12.0)
+        c.advance(1.0)
+        assert ensemble.now_ms == pytest.approx(12.0)
+        assert ensemble.now_s == pytest.approx(0.012)
+
+    def test_busy_is_total_work(self):
+        a, b = SimulationClock(), SimulationClock()
+        ensemble = ClockEnsemble([a, b])
+        a.advance(5.0)
+        b.advance(7.0)
+        assert ensemble.busy_ms == pytest.approx(12.0)
+
+    def test_skew_spans_fastest_to_slowest(self):
+        a, b = SimulationClock(), SimulationClock()
+        ensemble = ClockEnsemble([a, b])
+        a.advance(3.0)
+        b.advance(10.0)
+        assert ensemble.skew_ms == pytest.approx(7.0)
+        assert ensemble.member_times_ms() == (3.0, 10.0)
+
+    def test_add_and_remove_members(self):
+        a = SimulationClock()
+        ensemble = ClockEnsemble([a])
+        late = SimulationClock()
+        late.advance(42.0)
+        ensemble.add(late)
+        assert ensemble.now_ms == pytest.approx(42.0)
+        ensemble.remove(late)
+        assert len(ensemble) == 1
+        # Time is monotonic across membership changes: the removed member's
+        # final time is retired into a floor, not rewound.
+        assert ensemble.now_ms == pytest.approx(42.0)
+        assert ensemble.busy_ms == pytest.approx(42.0)
+        a.advance(50.0)
+        assert ensemble.now_ms == pytest.approx(50.0)
+        assert ensemble.busy_ms == pytest.approx(92.0)
+
+    def test_rejoining_member_is_not_double_counted(self):
+        clock = SimulationClock()
+        clock.advance(100.0)
+        ensemble = ClockEnsemble([clock])
+        ensemble.remove(clock)
+        ensemble.add(clock)
+        assert ensemble.busy_ms == pytest.approx(100.0)
+        assert ensemble.now_ms == pytest.approx(100.0)
+        assert len(ensemble) == 1
+
+    def test_rejects_non_clock_members(self):
+        with pytest.raises(TypeError):
+            ClockEnsemble([object()])
+        with pytest.raises(TypeError):
+            ClockEnsemble().add(object())

@@ -1,0 +1,179 @@
+"""Tests for the ClusterService facade and cross-shard stats aggregation."""
+
+import pytest
+
+from repro.core import CLAM, CLAMConfig
+from repro.core.errors import ConfigurationError
+from repro.service import ClusterService
+from repro.workloads import (
+    OpKind,
+    WorkloadRunner,
+    WorkloadSpec,
+    build_mixed_workload,
+    fingerprint_for,
+)
+
+
+@pytest.fixture
+def cluster_config() -> CLAMConfig:
+    return CLAMConfig.scaled(
+        num_super_tables=4, buffer_capacity_items=32, incarnations_per_table=4
+    )
+
+
+@pytest.fixture
+def cluster(cluster_config: CLAMConfig) -> ClusterService:
+    return ClusterService(num_shards=4, config=cluster_config)
+
+
+class TestHashIndexInterface:
+    def test_basic_operations(self, cluster: ClusterService):
+        result = cluster.insert(b"key-1", b"value-1")
+        assert result.latency_ms > 0
+        lookup = cluster.lookup(b"key-1")
+        assert lookup.found and lookup.value == b"value-1"
+        cluster.update(b"key-1", b"value-2")
+        assert cluster.get(b"key-1") == b"value-2"
+        assert b"key-1" in cluster
+        cluster.delete(b"key-1")
+        assert b"key-1" not in cluster
+
+    def test_runner_drives_cluster_end_to_end(self, cluster: ClusterService):
+        """The acceptance-criteria path: existing runner, 4-shard cluster."""
+        operations = build_mixed_workload(WorkloadSpec(num_keys=800, seed=21))
+        report = WorkloadRunner(cluster).run(operations)
+        assert report.operations == len(operations)
+        assert report.lookups == sum(
+            1 for op in operations if op.kind is OpKind.LOOKUP
+        )
+        assert report.simulated_duration_ms > 0
+        assert report.mean_lookup_latency_ms > 0
+        # Every shard took part.
+        assert set(cluster.stats.operations_per_shard()) == set(cluster.shard_ids)
+        assert all(
+            ops > 0 for ops in cluster.stats.operations_per_shard().values()
+        )
+
+    def test_cluster_matches_single_clam_results(self):
+        """Sharding must not change answers, only placement/timing.
+
+        Sized so nothing evicts: with identical op streams, a 4-shard cluster
+        and one big CLAM return identical lookup outcomes for every key.
+        """
+        operations = build_mixed_workload(WorkloadSpec(num_keys=500, seed=13))
+        single = CLAM(CLAMConfig.scaled())
+        clustered = ClusterService(num_shards=4, config=CLAMConfig.scaled())
+        single_report = WorkloadRunner(single).run(operations)
+        cluster_report = WorkloadRunner(clustered).run(operations)
+        assert cluster_report.lookup_hits == single_report.lookup_hits
+        for operation in operations:
+            if operation.kind is OpKind.LOOKUP:
+                assert clustered.get(operation.key) == single.get(operation.key)
+
+    def test_run_batched_matches_sequential_report(self, cluster_config: CLAMConfig):
+        operations = build_mixed_workload(WorkloadSpec(num_keys=700, seed=2))
+        sequential = WorkloadRunner(ClusterService(num_shards=4, config=cluster_config)).run(
+            operations
+        )
+        batched = WorkloadRunner(ClusterService(num_shards=4, config=cluster_config)).run_batched(
+            operations, batch_size=50
+        )
+        assert batched.operations == sequential.operations
+        assert batched.lookups == sequential.lookups
+        assert batched.lookup_hits == sequential.lookup_hits
+        assert batched.inserts == sequential.inserts
+        assert batched.lookup_latencies_ms == pytest.approx(
+            sequential.lookup_latencies_ms
+        )
+        # Batching amortises per-op dispatch, so the cluster finishes sooner.
+        assert batched.simulated_duration_ms < sequential.simulated_duration_ms
+
+    def test_run_batched_requires_batch_support(self, small_clam):
+        with pytest.raises(TypeError):
+            WorkloadRunner(small_clam).run_batched([], batch_size=8)
+
+    def test_runner_clock_is_cluster_ensemble(self, cluster: ClusterService):
+        runner = WorkloadRunner(cluster)
+        assert runner.clock is cluster.clock
+        assert cluster.clock.now_ms == 0.0
+        cluster.insert(b"k", b"v")
+        assert cluster.clock.now_ms > 0.0
+
+
+class TestClusterStats:
+    def test_combined_counters_sum_over_shards(self, cluster: ClusterService):
+        operations = build_mixed_workload(WorkloadSpec(num_keys=600, seed=8))
+        WorkloadRunner(cluster).run(operations)
+        per_shard = cluster.stats.per_shard()
+        combined = cluster.stats.combined()
+        for key in ("lookups", "inserts", "flash_reads", "flash_writes", "flushes"):
+            assert combined[key] == pytest.approx(
+                sum(counters[key] for counters in per_shard.values())
+            ), key
+        assert combined["clock_ms"] == pytest.approx(
+            max(counters["clock_ms"] for counters in per_shard.values())
+        )
+        assert combined["clock_ms"] == pytest.approx(cluster.clock.now_ms)
+
+    def test_per_shard_snapshot_is_cheap_flat_dict(self, cluster: ClusterService):
+        cluster.insert(b"key", b"value")
+        for counters in cluster.stats.per_shard().values():
+            assert all(isinstance(v, float) for v in counters.values())
+            assert "device_write_ops" in counters
+            assert "clock_ms" in counters
+
+    def test_hottest_shard_and_imbalance(self, cluster: ClusterService):
+        assert cluster.stats.imbalance_factor() == 1.0
+        for identifier in range(200):
+            cluster.insert(fingerprint_for(identifier), b"v")
+        shard_id, load = cluster.stats.hottest_shard()
+        loads = cluster.stats.operations_per_shard()
+        assert load == max(loads.values())
+        assert loads[shard_id] == load
+        assert cluster.stats.imbalance_factor() >= 1.0
+
+    def test_describe_summary(self, cluster: ClusterService):
+        for identifier in range(100):
+            cluster.insert(fingerprint_for(identifier), b"v")
+            cluster.lookup(fingerprint_for(identifier))
+        summary = cluster.describe()
+        assert summary["shards"] == 4.0
+        assert summary["lookups"] == 100.0
+        assert summary["inserts"] == 100.0
+        assert summary["lookup_success_rate"] == 1.0
+        assert summary["throughput_ops_per_s"] > 0
+
+
+class TestMembership:
+    def test_add_shard_provisions_instance_and_reports_handoff(self, cluster):
+        handoff = cluster.add_shard()
+        assert cluster.num_shards == 5
+        assert "shard-4" in cluster.shards
+        assert handoff.added == ("shard-4",)
+        assert 0 < handoff.moved_fraction < 1
+        # New shard serves immediately.
+        keys = [fingerprint_for(i, namespace=b"after-add") for i in range(400)]
+        owners = {cluster.shard_for(key) for key in keys}
+        assert "shard-4" in owners
+        for key in keys:
+            cluster.insert(key, b"v")
+            assert cluster.get(key) == b"v"
+
+    def test_remove_shard_decommissions_instance(self, cluster):
+        handoff = cluster.remove_shard("shard-3")
+        assert cluster.num_shards == 3
+        assert "shard-3" not in cluster.shards
+        assert handoff.removed == ("shard-3",)
+        keys = [fingerprint_for(i, namespace=b"after-remove") for i in range(200)]
+        assert all(cluster.shard_for(key) != "shard-3" for key in keys)
+        assert len(cluster.clock) == 3
+
+    def test_membership_errors(self, cluster):
+        with pytest.raises(ConfigurationError):
+            ClusterService(num_shards=0)
+        for shard_id in ("shard-1", "shard-2", "shard-3"):
+            cluster.remove_shard(shard_id)
+        with pytest.raises(ConfigurationError):
+            cluster.remove_shard("shard-0")
+        with pytest.raises(ConfigurationError):
+            cluster.remove_shard("never-existed")

@@ -1,0 +1,158 @@
+"""Tests for consistent-hash shard routing and handoff accounting."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.service import RING_SPACE, ShardRouter
+from repro.workloads import fingerprint_for
+
+
+def sample_keys(count, namespace=b"router-test"):
+    return [fingerprint_for(i, namespace=namespace) for i in range(count)]
+
+
+class TestRouting:
+    def test_route_is_deterministic_across_instances(self):
+        keys = sample_keys(500)
+        first = ShardRouter(["a", "b", "c", "d"]).route_many(keys)
+        second = ShardRouter(["a", "b", "c", "d"]).route_many(keys)
+        assert first == second
+
+    def test_route_independent_of_declaration_order(self):
+        keys = sample_keys(500)
+        forward = ShardRouter(["a", "b", "c", "d"]).route_many(keys)
+        backward = ShardRouter(["d", "c", "b", "a"]).route_many(keys)
+        assert forward == backward
+
+    def test_same_key_always_same_shard(self):
+        router = ShardRouter(["a", "b", "c"])
+        key = fingerprint_for(7)
+        assert len({router.route(key) for _ in range(10)}) == 1
+
+    def test_mixed_key_types_route_consistently(self):
+        router = ShardRouter(["a", "b"])
+        assert router.route(b"hello") == router.route("hello")
+
+    def test_all_shards_receive_traffic(self):
+        router = ShardRouter(["a", "b", "c", "d"], virtual_nodes=64)
+        owners = set(router.route_many(sample_keys(2000)))
+        assert owners == {"a", "b", "c", "d"}
+
+    def test_virtual_nodes_smooth_the_split(self):
+        keys = sample_keys(4000)
+        coarse = ShardRouter(["a", "b", "c", "d"], virtual_nodes=128)
+        counts = {}
+        for owner in coarse.route_many(keys):
+            counts[owner] = counts.get(owner, 0) + 1
+        for owner, count in counts.items():
+            share = count / len(keys)
+            assert 0.10 < share < 0.45, (owner, share)
+
+    def test_ownership_fractions_sum_to_one(self):
+        router = ShardRouter(["a", "b", "c", "d", "e"])
+        fractions = router.ownership_fractions()
+        assert set(fractions) == {"a", "b", "c", "d", "e"}
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert all(value > 0 for value in fractions.values())
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ConfigurationError):
+            ShardRouter([])
+        with pytest.raises(ConfigurationError):
+            ShardRouter(["a", "a"])
+        with pytest.raises(ConfigurationError):
+            ShardRouter(["a"], virtual_nodes=0)
+
+
+class TestMembershipChanges:
+    def test_add_shard_is_monotone(self):
+        """Consistent hashing: adding a shard only moves keys *to* it."""
+        keys = sample_keys(2000)
+        router = ShardRouter(["a", "b", "c"])
+        before = router.route_many(keys)
+        router.add_shard("d")
+        after = router.route_many(keys)
+        for old, new in zip(before, after):
+            assert new == old or new == "d"
+
+    def test_remove_shard_only_moves_its_keys(self):
+        keys = sample_keys(2000)
+        router = ShardRouter(["a", "b", "c", "d"])
+        before = router.route_many(keys)
+        router.remove_shard("d")
+        after = router.route_many(keys)
+        for old, new in zip(before, after):
+            if old != "d":
+                assert new == old
+            else:
+                assert new != "d"
+
+    def test_add_then_remove_restores_routing(self):
+        keys = sample_keys(1000)
+        router = ShardRouter(["a", "b", "c"])
+        before = router.route_many(keys)
+        router.add_shard("d")
+        router.remove_shard("d")
+        assert router.route_many(keys) == before
+        assert router.shard_ids == ("a", "b", "c")
+
+    def test_membership_errors(self):
+        router = ShardRouter(["a", "b"])
+        with pytest.raises(ConfigurationError):
+            router.add_shard("a")
+        with pytest.raises(ConfigurationError):
+            router.remove_shard("zzz")
+        router.remove_shard("b")
+        with pytest.raises(ConfigurationError):
+            router.remove_shard("a")
+
+
+class TestHandoffStats:
+    def test_add_handoff_matches_new_ownership(self):
+        router = ShardRouter(["a", "b", "c", "d"])
+        handoff = router.add_shard("e")
+        assert handoff.added == ("e",)
+        assert handoff.removed == ()
+        # Monotonicity: everything that moved was gained by the new shard.
+        assert set(handoff.gained_fraction) == {"e"}
+        assert handoff.gained_fraction["e"] == pytest.approx(handoff.moved_fraction)
+        assert sum(handoff.lost_fraction.values()) == pytest.approx(handoff.moved_fraction)
+        # The exact arc accounting matches the ring's post-change ownership.
+        assert router.ownership_fractions()["e"] == pytest.approx(handoff.moved_fraction)
+
+    def test_add_moves_roughly_one_over_n_plus_one(self):
+        router = ShardRouter(["a", "b", "c", "d"], virtual_nodes=256)
+        handoff = router.add_shard("e")
+        assert 0.08 < handoff.moved_fraction < 0.35
+
+    def test_remove_handoff_mirrors_add(self):
+        router = ShardRouter(["a", "b", "c", "d"])
+        added = router.add_shard("e")
+        removed = router.remove_shard("e")
+        assert removed.removed == ("e",)
+        assert removed.moved_fraction == pytest.approx(added.moved_fraction)
+        assert set(removed.lost_fraction) == {"e"}
+        # Arcs flow back to exactly the shards that lost them on add.
+        assert removed.gained_fraction.keys() == added.lost_fraction.keys()
+        for shard_id, fraction in removed.gained_fraction.items():
+            assert fraction == pytest.approx(added.lost_fraction[shard_id])
+
+    def test_handoff_against_sampled_keys(self):
+        """The exact arc fractions predict the observed key movement."""
+        keys = sample_keys(8000)
+        router = ShardRouter(["a", "b", "c"], virtual_nodes=128)
+        before = router.route_many(keys)
+        handoff = router.add_shard("d")
+        after = router.route_many(keys)
+        observed = sum(1 for old, new in zip(before, after) if old != new) / len(keys)
+        assert observed == pytest.approx(handoff.moved_fraction, abs=0.03)
+
+    def test_estimated_keys_moved(self):
+        router = ShardRouter(["a", "b", "c"])
+        handoff = router.add_shard("d")
+        assert handoff.estimated_keys_moved(10_000) == round(
+            handoff.moved_fraction * 10_000
+        )
+
+    def test_ring_space_constant(self):
+        assert RING_SPACE == 1 << 64

@@ -1,0 +1,136 @@
+"""Tests for the closed-loop multi-client traffic simulator."""
+
+import pytest
+
+from repro.core import CLAMConfig
+from repro.service import ClusterService, TrafficReport, TrafficSimulator, TrafficSpec
+
+
+def make_cluster(num_shards=4):
+    config = CLAMConfig.scaled(
+        num_super_tables=4, buffer_capacity_items=32, incarnations_per_table=4
+    )
+    return ClusterService(num_shards=num_shards, config=config)
+
+
+def small_spec(**overrides):
+    defaults = dict(
+        num_clients=4, requests_per_client=15, batch_size=4, key_space=500, seed=77
+    )
+    defaults.update(overrides)
+    return TrafficSpec(**defaults)
+
+
+class TestTrafficSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrafficSpec(num_clients=0)
+        with pytest.raises(ValueError):
+            TrafficSpec(batch_size=0)
+        with pytest.raises(ValueError):
+            TrafficSpec(lookup_fraction=1.5)
+        with pytest.raises(ValueError):
+            TrafficSpec(lookup_fraction=0.6, update_fraction=0.3, delete_fraction=0.2)
+        with pytest.raises(ValueError):
+            TrafficSpec(think_time_ms=-1)
+        with pytest.raises(ValueError):
+            TrafficSpec(value_size=-5)
+        with pytest.raises(ValueError):
+            TrafficSpec(hot_shard_threshold=0.5)
+
+
+class TestSimulatorRun:
+    def test_completes_every_request(self):
+        spec = small_spec()
+        report = TrafficSimulator(make_cluster(), spec).run()
+        assert report.requests == spec.num_clients * spec.requests_per_client
+        assert report.operations == report.requests * spec.batch_size
+        assert len(report.clients) == spec.num_clients
+        for client in report.clients:
+            assert client.requests == spec.requests_per_client
+            assert client.operations == spec.requests_per_client * spec.batch_size
+            assert len(client.request_latencies_ms) == spec.requests_per_client
+            assert client.mean_request_latency_ms > 0
+        assert sum(report.ops_per_shard.values()) == report.operations
+
+    def test_deterministic_given_seed(self):
+        first = TrafficSimulator(make_cluster(), small_spec()).run()
+        second = TrafficSimulator(make_cluster(), small_spec()).run()
+        assert first.operations == second.operations
+        assert first.duration_ms == pytest.approx(second.duration_ms)
+        assert first.ops_per_shard == second.ops_per_shard
+        assert first.hot_shards == second.hot_shards
+        different = TrafficSimulator(make_cluster(), small_spec(seed=78)).run()
+        assert different.ops_per_shard != first.ops_per_shard
+
+    def test_duration_is_slowest_client(self):
+        report = TrafficSimulator(make_cluster(), small_spec()).run()
+        assert report.duration_ms == pytest.approx(
+            max(client.finish_time_ms for client in report.clients)
+        )
+        assert report.throughput_ops_per_second > 0
+
+    def test_warmup_gives_lookups_hits(self):
+        cluster = make_cluster()
+        simulator = TrafficSimulator(
+            cluster, small_spec(lookup_fraction=0.8, zipf_skew=1.2)
+        )
+        inserted = simulator.warmup(300)
+        assert inserted == 300
+        report = simulator.run()
+        assert report.lookups > 0
+        assert report.lookup_success_rate > 0.5
+
+    def test_think_time_stretches_duration(self):
+        fast = TrafficSimulator(make_cluster(), small_spec()).run()
+        slow = TrafficSimulator(make_cluster(), small_spec(think_time_ms=5.0)).run()
+        assert slow.duration_ms > fast.duration_ms
+        # Think time keeps clients idle; op counts stay identical.
+        assert slow.operations == fast.operations
+
+    def test_latency_summary(self):
+        report = TrafficSimulator(make_cluster(), small_spec()).run()
+        summary = report.request_latency_summary()
+        assert summary.count == report.requests
+        assert summary.min_ms <= summary.p99_ms <= summary.max_ms
+
+
+class TestHotShardDetection:
+    def test_extreme_skew_flags_a_hot_shard(self):
+        # With near-degenerate Zipf skew almost all traffic hits one key,
+        # which lands on exactly one shard of eight.
+        spec = small_spec(
+            num_clients=2,
+            requests_per_client=20,
+            zipf_skew=4.0,
+            lookup_fraction=0.9,
+            update_fraction=0.1,
+        )
+        report = TrafficSimulator(make_cluster(num_shards=8), spec).run()
+        assert report.hot_shards
+        hottest = max(report.ops_per_shard, key=report.ops_per_shard.get)
+        assert hottest in report.hot_shards
+        assert report.imbalance_factor > spec.hot_shard_threshold
+
+    def test_uniform_traffic_flags_nothing(self):
+        # Skew near zero spreads load: nobody should exceed 1.5x the mean by
+        # much; use a generous threshold to keep the test robust.
+        spec = small_spec(zipf_skew=0.01, key_space=4000, hot_shard_threshold=2.0)
+        report = TrafficSimulator(make_cluster(), spec).run()
+        assert report.hot_shards == []
+
+    def test_idle_shards_count_toward_mean(self):
+        # All traffic on one key -> one shard of eight; idle shards must drag
+        # the mean down so both hot detection and imbalance see the skew.
+        spec = small_spec(
+            key_space=2, zipf_skew=3.0, lookup_fraction=0.9, update_fraction=0.1
+        )
+        report = TrafficSimulator(make_cluster(num_shards=8), spec).run()
+        assert set(report.ops_per_shard) == {f"shard-{i}" for i in range(8)}
+        assert report.hot_shards
+        assert report.imbalance_factor > spec.hot_shard_threshold
+
+    def test_report_includes_idle_shards_with_zero_ops(self):
+        report = TrafficSimulator(make_cluster(num_shards=4), small_spec()).run()
+        assert set(report.ops_per_shard) == set(report.busy_ms_per_shard)
+        assert len(report.ops_per_shard) == 4
