@@ -18,7 +18,9 @@ Expectations:
 
 from __future__ import annotations
 
-from benchmarks.common import print_table, standard_cluster
+import argparse
+
+from benchmarks.common import print_table, standard_cluster, write_bench_json
 from repro.service import TrafficSimulator, TrafficSpec
 
 SHARD_COUNTS = [1, 2, 4, 8]
@@ -43,6 +45,39 @@ def run_shard_scaling():
         simulator.warmup(1_000)
         results[num_shards] = simulator.run()
     return results
+
+
+def emit_json(results) -> None:
+    """Machine-readable counterpart of the stdout table (BENCH_shard_scaling.json)."""
+    per_cluster = {}
+    for num_shards, report in results.items():
+        summary = report.request_latency_summary()
+        per_cluster[str(num_shards)] = {
+            "operations": report.operations,
+            "throughput_ops_per_sec": report.throughput_ops_per_second,
+            "request_p50_ms": summary.median_ms,
+            "request_p99_ms": summary.p99_ms,
+            "dispatch_saved_ms": report.dispatch_saved_ms,
+            "imbalance_factor": report.imbalance_factor,
+            "hot_shards": list(report.hot_shards),
+        }
+    path = write_bench_json(
+        "shard_scaling",
+        {
+            "spec": {
+                "num_clients": SPEC.num_clients,
+                "requests_per_client": SPEC.requests_per_client,
+                "batch_size": SPEC.batch_size,
+                "lookup_fraction": SPEC.lookup_fraction,
+                "update_fraction": SPEC.update_fraction,
+                "key_space": SPEC.key_space,
+                "zipf_skew": SPEC.zipf_skew,
+                "seed": SPEC.seed,
+            },
+            "clusters": per_cluster,
+        },
+    )
+    print(f"wrote {path}")
 
 
 def test_bench_shard_scaling(benchmark):
@@ -92,3 +127,51 @@ def test_bench_shard_scaling(benchmark):
     # many shards is not.
     assert single.imbalance_factor == 1.0
     assert widest.imbalance_factor > 1.0
+
+    emit_json(results)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="cluster sizes 1 and 4 only, fewer requests"
+    )
+    args = parser.parse_args()
+    global SHARD_COUNTS, SPEC
+    if args.quick:
+        SHARD_COUNTS = [1, 4]
+        SPEC = TrafficSpec(
+            num_clients=4,
+            requests_per_client=20,
+            batch_size=8,
+            lookup_fraction=0.5,
+            update_fraction=0.1,
+            key_space=2_000,
+            zipf_skew=1.1,
+            seed=31,
+        )
+    results = run_shard_scaling()
+    rows = []
+    for num_shards in SHARD_COUNTS:
+        report = results[num_shards]
+        summary = report.request_latency_summary()
+        rows.append(
+            (
+                num_shards,
+                report.operations,
+                report.throughput_ops_per_second,
+                summary.median_ms,
+                summary.p99_ms,
+                report.imbalance_factor,
+            )
+        )
+    print_table(
+        "Shard scaling (closed-loop Zipf traffic)",
+        ["shards", "ops", "throughput ops/s", "req p50 ms", "req p99 ms", "imbalance"],
+        rows,
+    )
+    emit_json(results)
+
+
+if __name__ == "__main__":
+    main()

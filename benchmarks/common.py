@@ -1,12 +1,45 @@
-"""Shared helpers for the benchmark harness (table printing, standard setups)."""
+"""Shared helpers for the benchmark harness (table printing, JSON emission,
+standard setups)."""
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+import json
+import platform
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.core import CLAM, CLAMConfig
 from repro.flashsim import SimulationClock
 from repro.service import ClusterService
+
+#: Repository root (parent of this ``benchmarks`` package); machine-readable
+#: benchmark results land here as ``BENCH_<name>.json``.
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Version of the JSON envelope written by :func:`write_bench_json`.
+BENCH_SCHEMA_VERSION = 1
+
+
+def write_bench_json(name: str, payload: Dict, directory: Optional[Path] = None) -> Path:
+    """Write ``BENCH_<name>.json`` and return its path.
+
+    The machine-readable counterpart of :func:`print_table`: each benchmark
+    dumps its headline numbers into a stable envelope (benchmark name, schema
+    version, interpreter version, then the benchmark's own payload) at the
+    repository root, so successive PRs accumulate a perf trajectory that
+    tooling can diff without scraping stdout.
+    """
+    root = Path(directory) if directory is not None else REPO_ROOT
+    path = root / f"BENCH_{name}.json"
+    record = {
+        "bench": name,
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+    }
+    record.update(payload)
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    return path
 
 
 def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:

@@ -24,7 +24,7 @@ setup(
     long_description=__doc__,
     package_dir={"": "src"},
     packages=find_packages("src"),
-    python_requires=">=3.8",
+    python_requires=">=3.10",  # int.bit_count in the Bloom filter hot path
     install_requires=[],
     extras_require={
         "dev": ["pytest", "pytest-benchmark"],

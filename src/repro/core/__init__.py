@@ -32,7 +32,14 @@ from repro.core.eviction import (
     UpdateBasedEviction,
     make_policy,
 )
-from repro.core.hashing import hash_key, to_key_bytes
+from repro.core.hashing import (
+    KeyDigest,
+    as_digest,
+    count_hash_calls,
+    hash_key,
+    key_data,
+    to_key_bytes,
+)
 from repro.core.incarnation import IncarnationHandle, build_pages, search_page
 from repro.core.results import (
     DeleteResult,
@@ -75,7 +82,11 @@ __all__ = [
     "PriorityBasedEviction",
     "UpdateBasedEviction",
     "make_policy",
+    "KeyDigest",
+    "as_digest",
+    "count_hash_calls",
     "hash_key",
+    "key_data",
     "to_key_bytes",
     "IncarnationHandle",
     "build_pages",

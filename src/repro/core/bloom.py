@@ -9,7 +9,7 @@ new incarnation and is retained in DRAM until that incarnation is evicted.
 from __future__ import annotations
 
 import math
-from typing import Iterable
+from typing import Iterable, Iterator
 
 from repro.core.hashing import KeyLike, double_hashes
 
@@ -38,9 +38,12 @@ def false_positive_rate(num_bits: int, num_items: int, num_hashes: int) -> float
 class BloomFilter:
     """A fixed-size Bloom filter over arbitrary keys.
 
-    The bit array is held as a single Python integer, which keeps membership
-    tests cheap and makes the filter trivially copyable when it is "frozen"
-    alongside a flushed incarnation.
+    The bit array is a mutable ``bytearray`` (padded to whole 64-bit words),
+    so ``add`` flips bits in place in O(1) per hash instead of rebuilding an
+    immutable big-int of ``num_bits`` size on every set bit, and
+    ``fill_fraction`` popcounts the array a word at a time.  ``copy`` — used
+    when the filter is frozen alongside a flushed incarnation — is a single
+    ``bytearray`` clone.
     """
 
     __slots__ = ("num_bits", "num_hashes", "_bits", "_count")
@@ -52,7 +55,9 @@ class BloomFilter:
             raise ValueError("num_hashes must be positive")
         self.num_bits = num_bits
         self.num_hashes = num_hashes
-        self._bits = 0
+        # Padded to a multiple of 8 bytes so fill_fraction can view the
+        # buffer as 64-bit words; bits >= num_bits are never set.
+        self._bits = bytearray(((num_bits + 63) // 64) * 8)
         self._count = 0
 
     @classmethod
@@ -74,8 +79,9 @@ class BloomFilter:
 
     def add(self, key: KeyLike) -> None:
         """Insert a key into the filter."""
-        for position in self.bit_positions(key):
-            self._bits |= 1 << position
+        bits = self._bits
+        for position in double_hashes(key, self.num_hashes, self.num_bits):
+            bits[position >> 3] |= 1 << (position & 7)
         self._count += 1
 
     def update(self, keys: Iterable[KeyLike]) -> None:
@@ -84,8 +90,9 @@ class BloomFilter:
             self.add(key)
 
     def __contains__(self, key: KeyLike) -> bool:
-        for position in self.bit_positions(key):
-            if not (self._bits >> position) & 1:
+        bits = self._bits
+        for position in double_hashes(key, self.num_hashes, self.num_bits):
+            if not bits[position >> 3] & (1 << (position & 7)):
                 return False
         return True
 
@@ -93,23 +100,40 @@ class BloomFilter:
         """Alias of ``key in filter`` for readability at call sites."""
         return key in self
 
+    def iter_set_bits(self) -> Iterator[int]:
+        """Indices of set bits in increasing order.
+
+        The bit-sliced array (:mod:`repro.core.sliced_bloom`) transposes a
+        frozen filter through this, so alternative bit-storage
+        implementations (e.g. the legacy big-int used as the benchmark
+        baseline) only need to provide this one accessor.
+        """
+        for byte_index, byte in enumerate(self._bits):
+            if byte:
+                base = byte_index << 3
+                while byte:
+                    low = byte & -byte
+                    yield base + low.bit_length() - 1
+                    byte ^= low
+
     def expected_false_positive_rate(self) -> float:
         """Theoretical false-positive rate at the current fill level."""
         return false_positive_rate(self.num_bits, self._count, self.num_hashes)
 
     def fill_fraction(self) -> float:
-        """Fraction of bits set (useful in tests and diagnostics)."""
-        return bin(self._bits).count("1") / self.num_bits
+        """Fraction of bits set, popcounted a 64-bit word at a time."""
+        ones = sum(word.bit_count() for word in memoryview(self._bits).cast("Q"))
+        return ones / self.num_bits
 
     def clear(self) -> None:
         """Reset the filter to empty."""
-        self._bits = 0
+        self._bits = bytearray(len(self._bits))
         self._count = 0
 
     def copy(self) -> "BloomFilter":
         """An independent copy (used when freezing the buffer's filter)."""
-        clone = BloomFilter(self.num_bits, self.num_hashes)
-        clone._bits = self._bits
+        clone = type(self)(self.num_bits, self.num_hashes)
+        clone._bits = bytearray(self._bits)
         clone._count = self._count
         return clone
 

@@ -13,6 +13,7 @@ from typing import Dict, Optional, Tuple
 from repro.core.bloom import BloomFilter, optimal_num_hashes
 from repro.core.cuckoo import CuckooHashTable
 from repro.core.errors import CapacityError
+from repro.core.hashing import KeyLike
 
 
 class Buffer:
@@ -59,11 +60,11 @@ class Buffer:
 
     # -- Operations ----------------------------------------------------------------
 
-    def get(self, key: bytes) -> Optional[bytes]:
+    def get(self, key: KeyLike) -> Optional[bytes]:
         """Value stored for ``key`` in the buffer, or ``None``."""
         return self._table.get(key)
 
-    def put(self, key: bytes, value: bytes) -> bool:
+    def put(self, key: KeyLike, value: bytes) -> bool:
         """Insert or update ``key``.
 
         Returns ``True`` on success and ``False`` when the buffer cannot take
@@ -79,7 +80,7 @@ class Buffer:
         self._bloom.add(key)
         return True
 
-    def delete(self, key: bytes) -> bool:
+    def delete(self, key: KeyLike) -> bool:
         """Remove ``key`` from the buffer (Bloom bits are left set; they only
         cause a harmless false positive)."""
         return self._table.delete(key)

@@ -22,7 +22,13 @@ from repro.core.bufferhash import BufferHash
 from repro.core.config import CLAMConfig
 from repro.core.errors import ConfigurationError
 from repro.core.eviction import EvictionPolicy
-from repro.core.hashing import KeyLike, hash_key, to_key_bytes
+from repro.core.hashing import (
+    UNBUFFERED_PAGE_SEED,
+    KeyLike,
+    canonical_key,
+    hash_key,
+    key_data,
+)
 from repro.core.results import (
     DeleteResult,
     InsertResult,
@@ -144,8 +150,21 @@ class CLAM:
 
     # -- Hash-table API -----------------------------------------------------------------
 
+    def _canonical(self, key: KeyLike) -> KeyLike:
+        """Canonicalise ``key`` exactly once at the public API boundary.
+
+        Hash-once mode wraps the key in a (cached)
+        :class:`~repro.core.hashing.KeyDigest` that every layer below —
+        partitioning, cuckoo buffer, Bloom filters, incarnation pages —
+        reuses; the ``use_hash_once=False`` ablation reproduces the original
+        per-layer re-hashing by passing plain canonical bytes (the policy is
+        :func:`repro.core.hashing.canonical_key`, shared by every boundary).
+        """
+        return canonical_key(key, self.config.use_hash_once)
+
     def insert(self, key: KeyLike, value: bytes) -> InsertResult:
         """Insert or update a (key, value) pair."""
+        key = self._canonical(key)
         if self.bufferhash is not None:
             result = self.bufferhash.insert(key, value)
         else:
@@ -159,6 +178,7 @@ class CLAM:
 
     def lookup(self, key: KeyLike) -> LookupResult:
         """Look up the most recent value for a key."""
+        key = self._canonical(key)
         if self.bufferhash is not None:
             result = self.bufferhash.lookup(key)
         else:
@@ -168,6 +188,7 @@ class CLAM:
 
     def delete(self, key: KeyLike) -> DeleteResult:
         """Delete a key."""
+        key = self._canonical(key)
         if self.bufferhash is not None:
             result = self.bufferhash.delete(key)
         else:
@@ -183,32 +204,36 @@ class CLAM:
         return self.lookup(key).found
 
     # -- Unbuffered (ablation) mode -------------------------------------------------------
+    #
+    # Keys arrive already canonicalised by ``_canonical`` (the public API
+    # boundary), so these handlers never re-run ``to_key_bytes``; ``key_data``
+    # just unwraps the canonical bytes from a digest.
 
-    def _unbuffered_page_for(self, key: bytes) -> int:
-        return hash_key(key, seed=0xFAB) % self.device.geometry.total_pages
+    def _unbuffered_page_for(self, key: KeyLike) -> int:
+        return hash_key(key, seed=UNBUFFERED_PAGE_SEED) % self.device.geometry.total_pages
 
     def _unbuffered_insert(self, key: KeyLike, value: bytes) -> InsertResult:
-        data = to_key_bytes(key)
-        page = self._unbuffered_page_for(data)
+        data = key_data(key)
+        page = self._unbuffered_page_for(key)
         memory_cost = self.config.memory_cost.buffer_op_ms
         self.clock.advance(memory_cost)
         latency = memory_cost + self.device.write_page(page, data[: self.device.geometry.page_size])
         self._unbuffered_data[data] = bytes(value)
         if self._unbuffered_bloom is not None:
-            self._unbuffered_bloom.add(data)
+            self._unbuffered_bloom.add(key)
         return InsertResult(key=data, latency_ms=latency, flash_writes=1)
 
     def _unbuffered_lookup(self, key: KeyLike) -> LookupResult:
-        data = to_key_bytes(key)
+        data = key_data(key)
         memory_cost = self.config.memory_cost.buffer_op_ms
         self.clock.advance(memory_cost)
         latency = memory_cost
         flash_reads = 0
-        if self._unbuffered_bloom is not None and data not in self._unbuffered_bloom:
+        if self._unbuffered_bloom is not None and key not in self._unbuffered_bloom:
             return LookupResult(
                 key=data, value=None, latency_ms=latency, served_from=ServedFrom.MISSING
             )
-        page = self._unbuffered_page_for(data)
+        page = self._unbuffered_page_for(key)
         _payload, read_latency = self.device.read_page(page)
         latency += read_latency
         flash_reads = 1
@@ -223,7 +248,7 @@ class CLAM:
         )
 
     def _unbuffered_delete(self, key: KeyLike) -> DeleteResult:
-        data = to_key_bytes(key)
+        data = key_data(key)
         memory_cost = self.config.memory_cost.buffer_op_ms
         self.clock.advance(memory_cost)
         removed = self._unbuffered_data.pop(data, None) is not None

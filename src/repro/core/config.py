@@ -75,6 +75,14 @@ class CLAMConfig:
         DRAM bits spent per entry in each incarnation's Bloom filter.
     use_buffering / use_bloom_filters / use_bit_slicing:
         Ablation switches for §7.3.1.
+    use_hash_once:
+        When True (default) keys are canonicalised into a memoising
+        :class:`~repro.core.hashing.KeyDigest` once at the public API
+        boundary, so each layer's seeded hash of the key bytes is computed
+        at most once per operation.  Disabling it reproduces the original
+        per-layer re-hashing; derived values are bit-identical either way
+        (this is a measurement ablation for ``benchmarks/bench_hotpath.py``,
+        not a behaviour switch).
     eviction_policy_name:
         One of ``fifo``, ``lru``, ``update``, ``priority``.
     """
@@ -89,6 +97,7 @@ class CLAMConfig:
     use_buffering: bool = True
     use_bloom_filters: bool = True
     use_bit_slicing: bool = True
+    use_hash_once: bool = True
     eviction_policy_name: str = "fifo"
     memory_cost: MemoryCostModel = field(default_factory=MemoryCostModel)
 

@@ -16,7 +16,13 @@ from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple
 
 from repro.core.errors import CapacityError
-from repro.core.hashing import hash_key
+from repro.core.hashing import (
+    CUCKOO_SEED_FIRST,
+    CUCKOO_SEED_SECOND,
+    KeyLike,
+    hash_key,
+    key_data,
+)
 
 
 @dataclass
@@ -26,7 +32,12 @@ class _Entry:
 
 
 class CuckooHashTable:
-    """Fixed-capacity cuckoo hash table mapping ``bytes`` keys to ``bytes`` values."""
+    """Fixed-capacity cuckoo hash table mapping ``bytes`` keys to ``bytes`` values.
+
+    Keys may be handed in as :class:`~repro.core.hashing.KeyDigest` objects;
+    bucket hashing then reuses the digest's memoised values while entries
+    still store (and :meth:`items` still yields) the canonical key bytes.
+    """
 
     #: Slots per bucket (standard bucketised cuckoo hashing).
     SLOTS_PER_BUCKET = 4
@@ -46,9 +57,9 @@ class CuckooHashTable:
 
     # -- Hashing ---------------------------------------------------------------
 
-    def _buckets_for(self, key: bytes) -> Tuple[int, int]:
-        first = hash_key(key, seed=0xA11CE) % self.num_buckets
-        second = hash_key(key, seed=0xB0B) % self.num_buckets
+    def _buckets_for(self, key: KeyLike) -> Tuple[int, int]:
+        first = hash_key(key, seed=CUCKOO_SEED_FIRST) % self.num_buckets
+        second = hash_key(key, seed=CUCKOO_SEED_SECOND) % self.num_buckets
         if second == first:
             second = (second + 1) % self.num_buckets
         return first, second
@@ -58,14 +69,16 @@ class CuckooHashTable:
     def __len__(self) -> int:
         return self._size
 
-    def __contains__(self, key: bytes) -> bool:
+    def __contains__(self, key: KeyLike) -> bool:
         return self.get(key) is not None
 
-    def get(self, key: bytes) -> Optional[bytes]:
+    def get(self, key: KeyLike) -> Optional[bytes]:
         """Value stored for ``key``, or ``None`` if absent."""
+        data = key_data(key)
+        buckets = self._buckets
         for bucket_index in self._buckets_for(key):
-            for entry in self._buckets[bucket_index]:
-                if entry is not None and entry.key == key:
+            for entry in buckets[bucket_index]:
+                if entry is not None and entry.key == data:
                     return entry.value
         return None
 
@@ -82,7 +95,7 @@ class CuckooHashTable:
 
     # -- Write operations ---------------------------------------------------------
 
-    def put(self, key: bytes, value: bytes) -> None:
+    def put(self, key: KeyLike, value: bytes) -> None:
         """Insert or update ``key``.
 
         Raises
@@ -92,24 +105,25 @@ class CuckooHashTable:
             table is left exactly as it was and the caller should flush and
             retry.
         """
+        data = key_data(key)
         first, second = self._buckets_for(key)
         # In-place update if the key already exists.
         for bucket_index in (first, second):
             for entry in self._buckets[bucket_index]:
-                if entry is not None and entry.key == key:
+                if entry is not None and entry.key == data:
                     entry.value = value
                     return
         # Plain insertion into a bucket with a free slot.
         for bucket_index in (first, second):
             slot = self._free_slot(bucket_index)
             if slot is not None:
-                self._buckets[bucket_index][slot] = _Entry(key, value)
+                self._buckets[bucket_index][slot] = _Entry(data, value)
                 self._size += 1
                 return
         # Both buckets full: displace entries along a bounded path.  Every
         # write is recorded as (bucket, slot, previous occupant) so the whole
         # chain can be undone if it never terminates.
-        carried = _Entry(key, value)
+        carried = _Entry(data, value)
         bucket_index = first
         history: List[Tuple[int, int, Optional[_Entry]]] = []
         for step in range(self.MAX_DISPLACEMENTS):
@@ -138,12 +152,13 @@ class CuckooHashTable:
                 return slot
         return None
 
-    def delete(self, key: bytes) -> bool:
+    def delete(self, key: KeyLike) -> bool:
         """Remove ``key``; returns whether it was present."""
+        data = key_data(key)
         for bucket_index in self._buckets_for(key):
             bucket = self._buckets[bucket_index]
             for slot, entry in enumerate(bucket):
-                if entry is not None and entry.key == key:
+                if entry is not None and entry.key == data:
                     bucket[slot] = None
                     self._size -= 1
                     return True

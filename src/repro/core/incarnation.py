@@ -21,20 +21,26 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.errors import KeyTooLargeError
-from repro.core.hashing import hash_key
+from repro.core.hashing import PAGE_SEED, KeyLike, canonical_key, hash_key
 
 _PAGE_HEADER = struct.Struct("<HB")  # entry count, overflow flag
 _ENTRY_HEADER = struct.Struct("<HH")  # key length, value length
 
-#: Hash seed used for assigning keys to incarnation pages.
-_PAGE_SEED = 0x17CA
+#: Hash seed used for assigning keys to incarnation pages (re-exported for
+#: backwards compatibility; the canonical definition lives in
+#: :mod:`repro.core.hashing` next to the other per-layer seeds).
+_PAGE_SEED = PAGE_SEED
 
 
-def page_index_for_key(key: bytes, num_pages: int) -> int:
-    """The page a key hashes to within an incarnation of ``num_pages`` pages."""
+def page_index_for_key(key: KeyLike, num_pages: int) -> int:
+    """The page a key hashes to within an incarnation of ``num_pages`` pages.
+
+    Digest-aware: a :class:`~repro.core.hashing.KeyDigest` reuses its
+    memoised page digest across the incarnations a lookup probes.
+    """
     if num_pages <= 0:
         raise ValueError("num_pages must be positive")
-    return hash_key(key, seed=_PAGE_SEED) % num_pages
+    return hash_key(key, seed=PAGE_SEED) % num_pages
 
 
 def _encode_entry(key: bytes, value: bytes) -> bytes:
@@ -70,6 +76,7 @@ def build_pages(
     items: Dict[bytes, bytes],
     num_pages: int,
     page_size: int,
+    hash_once: bool = False,
 ) -> List[bytes]:
     """Serialise ``items`` into ``num_pages`` page images of at most ``page_size`` bytes.
 
@@ -77,6 +84,13 @@ def build_pages(
     remaining entries spill onto subsequent pages (wrapping around), and every
     page that pushed entries onward has its overflow flag set so lookups know
     to continue.
+
+    ``hash_once`` routes each key's page hash through the digest cache:
+    flushed keys are the workload's hot keys, so this reuses page digests
+    already computed by lookups and primes the cache for the lookups that
+    follow the flush.  It is off by default so the ``use_hash_once=False``
+    ablation (and stand-alone callers) stay free of digest machinery; page
+    assignment is bit-identical either way.
     """
     if num_pages <= 0:
         raise ValueError("num_pages must be positive")
@@ -90,7 +104,9 @@ def build_pages(
             raise KeyTooLargeError(
                 f"entry of {entry_size} bytes cannot fit in a {page_size}-byte page"
             )
-        buckets[page_index_for_key(key, num_pages)].append((key, value))
+        buckets[page_index_for_key(canonical_key(key, hash_once), num_pages)].append(
+            (key, value)
+        )
 
     # Assign entries to physical pages with wrap-around overflow.
     page_entries: List[List[Tuple[bytes, bytes]]] = [[] for _ in range(num_pages)]
@@ -159,11 +175,27 @@ def search_page(page_image: bytes, key: bytes) -> Tuple[Optional[bytes], bool]:
     Returns ``(value, overflowed)`` where ``value`` is ``None`` when the key is
     not on this page and ``overflowed`` tells the caller whether probing the
     next page could still find it.
+
+    This sits on the lookup fast path (one call per flash page read), so it
+    scans the raw image with ``startswith`` at computed offsets instead of
+    materialising a (key, value) slice pair per entry the way
+    :func:`iter_page_entries` does.
     """
-    for stored_key, stored_value in iter_page_entries(page_image):
-        if stored_key == key:
-            return stored_value, page_overflowed(page_image)
-    return None, page_overflowed(page_image)
+    if not page_image:
+        return None, False
+    count, flag = _PAGE_HEADER.unpack_from(page_image, 0)
+    offset = _PAGE_HEADER.size
+    key_size = len(key)
+    unpack_entry = _ENTRY_HEADER.unpack_from
+    entry_header_size = _ENTRY_HEADER.size
+    for _ in range(count):
+        key_len, value_len = unpack_entry(page_image, offset)
+        offset += entry_header_size
+        if key_len == key_size and page_image.startswith(key, offset):
+            value_start = offset + key_len
+            return page_image[value_start : value_start + value_len], bool(flag)
+        offset += key_len + value_len
+    return None, bool(flag)
 
 
 @dataclass(frozen=True)

@@ -69,6 +69,9 @@ class BitSlicedBloomArray:
         self._columns: Deque[int] = deque()
         # Column -> caller-supplied incarnation identifier.
         self._column_owner: Dict[int, object] = {}
+        # OR of the live columns' bits, maintained incrementally so lookups
+        # do not rebuild it per query.
+        self._live_mask = 0
         self._next_column = 0
         self._vacated_columns: List[int] = []
         self.lazy_clear_batches = 0
@@ -90,16 +93,13 @@ class BitSlicedBloomArray:
             )
         column = self._allocate_column()
         column_bit = 1 << column
-        bits = bloom._bits
-        position = 0
+        slices = self._slices
         # Walk only the set bits of the source filter.
-        while bits:
-            if bits & 1:
-                self._slices[position] |= column_bit
-            bits >>= 1
-            position += 1
+        for position in bloom.iter_set_bits():
+            slices[position] |= column_bit
         self._columns.append(column)
         self._column_owner[column] = incarnation_id
+        self._live_mask |= column_bit
 
     def evict_oldest(self) -> Optional[object]:
         """Slide the window past the oldest incarnation; returns its identifier."""
@@ -107,6 +107,7 @@ class BitSlicedBloomArray:
             return None
         column = self._columns.popleft()
         owner = self._column_owner.pop(column)
+        self._live_mask &= ~(1 << column)
         # The paper's lazy clearing: vacated columns keep their stale bits
         # until a whole word's worth has accumulated, then are cleared at once.
         self._vacated_columns.append(column)
@@ -147,18 +148,12 @@ class BitSlicedBloomArray:
         """Incarnation identifiers that may contain ``key``, newest first."""
         if not self._columns:
             return []
-        positions = double_hashes(key, self.num_hashes, self.num_bits)
-        combined = ~0
-        for position in positions:
-            combined &= self._slices[position]
+        slices = self._slices
+        combined = self._live_mask
+        for position in double_hashes(key, self.num_hashes, self.num_bits):
+            combined &= slices[position]
             if combined == 0:
                 return []
-        live_mask = 0
-        for column in self._columns:
-            live_mask |= 1 << column
-        combined &= live_mask
-        if combined == 0:
-            return []
         matches = []
         # Newest-first so the caller sees the most recent value for a key.
         for column in reversed(self._columns):

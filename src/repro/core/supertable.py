@@ -24,6 +24,7 @@ from repro.core.buffer import Buffer
 from repro.core.config import MemoryCostModel
 from repro.core.errors import ConfigurationError
 from repro.core.eviction import EvictionContext, EvictionPolicy, FIFOEviction
+from repro.core.hashing import KeyLike, key_data
 from repro.core.incarnation import (
     IncarnationHandle,
     build_pages,
@@ -62,6 +63,7 @@ class SuperTable:
         eviction_policy: Optional[EvictionPolicy] = None,
         use_bloom_filters: bool = True,
         use_bit_slicing: bool = True,
+        use_hash_once: bool = True,
     ) -> None:
         if max_incarnations <= 0:
             raise ConfigurationError("max_incarnations must be positive")
@@ -77,6 +79,7 @@ class SuperTable:
         self.eviction_policy = eviction_policy if eviction_policy is not None else FIFOEviction()
         self.use_bloom_filters = use_bloom_filters
         self.use_bit_slicing = use_bit_slicing
+        self.use_hash_once = use_hash_once
 
         self.buffer = Buffer(
             capacity_items=buffer_capacity_items,
@@ -85,6 +88,9 @@ class SuperTable:
         )
         # Incarnations ordered oldest -> newest.
         self._incarnations: List[IncarnationHandle] = []
+        # incarnation_id -> handle, kept in sync with _incarnations so the
+        # bit-sliced candidate path resolves ids without a per-lookup rebuild.
+        self._by_id: Dict[int, IncarnationHandle] = {}
         # Per-incarnation Bloom filters (same order as _incarnations).
         self._filters: Dict[int, BloomFilter] = {}
         self._sliced = BitSlicedBloomArray(
@@ -127,8 +133,13 @@ class SuperTable:
 
     # -- Candidate selection ---------------------------------------------------------
 
-    def _candidate_incarnations(self, key: bytes) -> Tuple[List[IncarnationHandle], float]:
-        """Incarnations that may hold ``key`` (newest first) and the DRAM cost."""
+    def _candidate_incarnations(self, key: KeyLike) -> Tuple[List[IncarnationHandle], float]:
+        """Incarnations that may hold ``key`` (newest first) and the DRAM cost.
+
+        ``key`` may be a :class:`~repro.core.hashing.KeyDigest`; the Bloom
+        probes below then reuse its memoised positions instead of re-hashing
+        the key bytes per incarnation.
+        """
         if not self._incarnations:
             return [], 0.0
         if not self.use_bloom_filters:
@@ -140,7 +151,7 @@ class SuperTable:
         )
         if self.use_bit_slicing:
             ids = self._sliced.candidates(key)
-            by_id = {handle.incarnation_id: handle for handle in self._incarnations}
+            by_id = self._by_id
             return [by_id[i] for i in ids if i in by_id], cost
         candidates = [
             handle
@@ -151,12 +162,13 @@ class SuperTable:
 
     # -- Lookup -----------------------------------------------------------------------
 
-    def lookup(self, key: bytes) -> LookupResult:
-        """Find the most recent value for ``key``."""
+    def lookup(self, key: KeyLike) -> LookupResult:
+        """Find the most recent value for ``key`` (bytes or a KeyDigest)."""
+        data = key_data(key)
         latency = self._charge_memory(self.memory_cost.delete_list_probe_ms)
-        if key in self._delete_list:
+        if data in self._delete_list:
             return LookupResult(
-                key=key,
+                key=data,
                 value=None,
                 latency_ms=latency,
                 served_from=ServedFrom.DELETED,
@@ -165,7 +177,7 @@ class SuperTable:
         value = self.buffer.get(key)
         if value is not None:
             return LookupResult(
-                key=key,
+                key=data,
                 value=value,
                 latency_ms=latency,
                 served_from=ServedFrom.BUFFER,
@@ -176,13 +188,13 @@ class SuperTable:
         flash_reads = 0
         false_positive_reads = 0
         for handle in candidates:
-            value, reads = self._search_incarnation(handle, key)
+            value, reads = self._search_incarnation(handle, key, data)
             flash_reads += reads
             latency += self._last_flash_latency
             latency += self._charge_memory(self.memory_cost.page_scan_ms * reads)
             if value is not None:
                 result = LookupResult(
-                    key=key,
+                    key=data,
                     value=value,
                     latency_ms=latency,
                     served_from=ServedFrom.INCARNATION,
@@ -194,7 +206,7 @@ class SuperTable:
                 return result
             false_positive_reads += reads
         return LookupResult(
-            key=key,
+            key=data,
             value=None,
             latency_ms=latency,
             served_from=ServedFrom.MISSING,
@@ -206,9 +218,13 @@ class SuperTable:
     _last_flash_latency: float = 0.0
 
     def _search_incarnation(
-        self, handle: IncarnationHandle, key: bytes
+        self, handle: IncarnationHandle, key: KeyLike, data: bytes
     ) -> Tuple[Optional[bytes], int]:
-        """Search one incarnation for ``key``; reads at most a few pages."""
+        """Search one incarnation for ``key``; reads at most a few pages.
+
+        ``key`` addresses the page (digest-aware hash), ``data`` is the
+        canonical bytes compared against page entries.
+        """
         self._last_flash_latency = 0.0
         page = page_index_for_key(key, handle.num_pages)
         reads = 0
@@ -217,14 +233,14 @@ class SuperTable:
             image, read_latency = self.store.read_page(handle.address, target)
             self._last_flash_latency += read_latency
             reads += 1
-            value, overflowed = search_page(image, key)
+            value, overflowed = search_page(image, data)
             if value is not None:
                 return value, reads
             if not overflowed:
                 return None, reads
         return None, reads
 
-    def _maybe_reinsert_on_use(self, key: bytes, value: bytes) -> None:
+    def _maybe_reinsert_on_use(self, key: KeyLike, value: bytes) -> None:
         """LRU emulation: items found on flash are re-inserted into the buffer.
 
         The re-insertion happens off the lookup's critical path (the paper
@@ -237,12 +253,13 @@ class SuperTable:
 
     # -- Insert / update / delete -------------------------------------------------------
 
-    def insert(self, key: bytes, value: bytes) -> InsertResult:
-        """Insert or (lazily) update ``key``."""
+    def insert(self, key: KeyLike, value: bytes) -> InsertResult:
+        """Insert or (lazily) update ``key`` (bytes or a KeyDigest)."""
+        data = key_data(key)
         latency = self._charge_memory(
             self.memory_cost.buffer_op_ms + self.memory_cost.bloom_update_ms
         )
-        self._delete_list.discard(key)
+        self._delete_list.discard(data)
         flushed = False
         flush_result = FlushResult()
         if not self.buffer.put(key, value):
@@ -252,7 +269,7 @@ class SuperTable:
             if not self.buffer.put(key, value):  # pragma: no cover - flush always makes room
                 raise ConfigurationError("buffer rejected an insert immediately after flush")
         return InsertResult(
-            key=key,
+            key=data,
             latency_ms=latency,
             flushed=flushed,
             flush_latency_ms=flush_result.latency_ms,
@@ -261,12 +278,13 @@ class SuperTable:
             flash_reads=flush_result.flash_reads,
         )
 
-    def update(self, key: bytes, value: bytes) -> InsertResult:
+    def update(self, key: KeyLike, value: bytes) -> InsertResult:
         """Lazy update: identical to insert; newer values shadow older ones."""
         return self.insert(key, value)
 
-    def delete(self, key: bytes) -> DeleteResult:
+    def delete(self, key: KeyLike) -> DeleteResult:
         """Delete ``key`` lazily via the in-memory delete list."""
+        data = key_data(key)
         latency = self._charge_memory(
             self.memory_cost.buffer_op_ms + self.memory_cost.delete_list_probe_ms
         )
@@ -274,10 +292,10 @@ class SuperTable:
         # Older copies may still exist on flash, so the delete list entry is
         # needed even when the buffer held the key.
         if self._incarnations:
-            self._delete_list.add(key)
+            self._delete_list.add(data)
         elif not removed:
-            self._delete_list.add(key)
-        return DeleteResult(key=key, latency_ms=latency, removed_from_buffer=removed)
+            self._delete_list.add(data)
+        return DeleteResult(key=data, latency_ms=latency, removed_from_buffer=removed)
 
     # -- Flush and eviction ----------------------------------------------------------------
 
@@ -346,7 +364,7 @@ class SuperTable:
         # entry size; when actual entries are larger (long keys or values),
         # grow this incarnation rather than failing the flush.
         num_pages = max(self.pages_per_incarnation, required_pages(items, self.page_size))
-        pages = build_pages(items, num_pages, self.page_size)
+        pages = build_pages(items, num_pages, self.page_size, hash_once=self.use_hash_once)
         address, latency = self._write_incarnation_pages(pages)
         handle = IncarnationHandle(
             incarnation_id=self._next_incarnation_id,
@@ -356,6 +374,7 @@ class SuperTable:
         )
         self._next_incarnation_id += 1
         self._incarnations.append(handle)
+        self._by_id[handle.incarnation_id] = handle
         if frozen_filter is None:
             frozen_filter = BloomFilter(self.buffer.bloom_bits, self.buffer.bloom_hashes)
             frozen_filter.update(items.keys())
@@ -366,6 +385,7 @@ class SuperTable:
     def _evict_oldest(self, force_full_discard: bool) -> Tuple[Dict[bytes, bytes], float, int]:
         """Evict the oldest incarnation; returns (retained items, latency, flash reads)."""
         handle = self._incarnations.pop(0)
+        self._by_id.pop(handle.incarnation_id, None)
         self.eviction_count += 1
         latency = 0.0
         flash_reads = 0

@@ -25,7 +25,7 @@ from repro.core.clam import CLAM
 from repro.core.config import CLAMConfig
 from repro.core.errors import ConfigurationError
 from repro.core.eviction import EvictionPolicy
-from repro.core.hashing import KeyLike
+from repro.core.hashing import KeyLike, canonical_key
 from repro.core.results import DeleteResult, InsertResult, LookupResult
 from repro.flashsim.clock import ClockEnsemble, SimulationClock
 from repro.service.batch import (
@@ -152,6 +152,7 @@ class ClusterService:
             self.shards,
             dispatch_overhead_ms=dispatch_overhead_ms,
             routing_cost_ms=routing_cost_ms,
+            hash_once=self.config.use_hash_once,
         )
         self.stats = ClusterStats(self.shards)
 
@@ -173,32 +174,48 @@ class ClusterService:
 
     def shard_for(self, key: KeyLike) -> str:
         """Shard id that owns ``key``."""
-        return self.router.route(key)
+        return self.router.route(self._canonical(key))
 
-    def _dispatch(self, key: KeyLike) -> CLAM:
+    def _canonical(self, key: KeyLike) -> KeyLike:
+        """Hash the key once for routing *and* the shard-side operation.
+
+        The digest computed for the ring position travels into the owning
+        CLAM, whose boundary recognises it and reuses it; the
+        ``use_hash_once=False`` ablation passes canonical bytes through so
+        shards re-hash exactly as they originally did (shared policy:
+        :func:`repro.core.hashing.canonical_key`).
+        """
+        return canonical_key(key, self.config.use_hash_once)
+
+    def _dispatch(self, key: KeyLike) -> Tuple[CLAM, KeyLike]:
+        key = self._canonical(key)
         shard = self.shards[self.router.route(key)]
         # A stand-alone operation pays routing plus the full dispatch overhead
         # by itself; batches amortise the dispatch share (see BatchExecutor).
         shard.clock.advance(
             self.executor.dispatch_overhead_ms + self.executor.routing_cost_ms
         )
-        return shard
+        return shard, key
 
     def insert(self, key: KeyLike, value: bytes) -> InsertResult:
         """Insert or update a (key, value) pair on the owning shard."""
-        return self._dispatch(key).insert(key, value)
+        shard, key = self._dispatch(key)
+        return shard.insert(key, value)
 
     def update(self, key: KeyLike, value: bytes) -> InsertResult:
         """Lazy update (alias of insert), routed to the owning shard."""
-        return self._dispatch(key).update(key, value)
+        shard, key = self._dispatch(key)
+        return shard.update(key, value)
 
     def lookup(self, key: KeyLike) -> LookupResult:
         """Look up the most recent value for a key on the owning shard."""
-        return self._dispatch(key).lookup(key)
+        shard, key = self._dispatch(key)
+        return shard.lookup(key)
 
     def delete(self, key: KeyLike) -> DeleteResult:
         """Delete a key on the owning shard."""
-        return self._dispatch(key).delete(key)
+        shard, key = self._dispatch(key)
+        return shard.delete(key)
 
     def get(self, key: KeyLike) -> Optional[bytes]:
         """Convenience accessor returning just the value (or ``None``)."""

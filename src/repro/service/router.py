@@ -22,13 +22,14 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.core.errors import ConfigurationError
-from repro.core.hashing import KeyLike, hash_key, to_key_bytes
+from repro.core.hashing import RING_SEED, KeyLike, hash_key, to_key_bytes
 
 #: Size of the hash ring (64-bit hash space).
 RING_SPACE = 1 << 64
 
-#: Seed separating ring-point hashing from every other hash use in the repo.
-_RING_SEED = 0x5A4D
+#: Seed separating ring-point hashing from every other hash use in the repo
+#: (canonically defined in :mod:`repro.core.hashing`).
+_RING_SEED = RING_SEED
 
 
 @dataclass(frozen=True)
@@ -142,8 +143,13 @@ class ShardRouter:
     # -- Routing ------------------------------------------------------------------------
 
     def route(self, key: KeyLike) -> str:
-        """Shard owning ``key``: first ring point at or after the key's hash."""
-        position = bisect_left(self._points, hash_key(key, seed=_RING_SEED))
+        """Shard owning ``key``: first ring point at or after the key's hash.
+
+        Digest-aware: routing a :class:`~repro.core.hashing.KeyDigest` reuses
+        its memoised ring digest, so the shard that then executes the
+        operation never re-hashes the key bytes the router already hashed.
+        """
+        position = bisect_left(self._points, hash_key(key, seed=RING_SEED))
         if position == len(self._points):
             position = 0
         return self._owners[self._points[position]]

@@ -45,22 +45,29 @@ class BatchHashIndex(HashIndex, Protocol):
         ...
 
 
-def apply_operation(index: HashIndex, operation: Operation):
+def apply_operation(index: HashIndex, operation: Operation, key=None):
     """Dispatch one workload operation to ``index`` and return its result record.
 
     The dispatch switch shared by the sequential runner and the service
     layer's batch executor.  Accounting switches (``_record`` here,
     ``_count`` in :mod:`repro.service.batch`) fold results into different
     report shapes and must also learn about any future operation kind.
+
+    ``key`` lets a caller that already canonicalised the operation's key —
+    e.g. the batch executor, which hashed it to route the sub-batch — pass
+    the resulting :class:`~repro.core.hashing.KeyDigest` through so the index
+    does not hash the key bytes a second time.
     """
+    if key is None:
+        key = operation.key
     if operation.kind is OpKind.LOOKUP:
-        return index.lookup(operation.key)
+        return index.lookup(key)
     if operation.kind is OpKind.INSERT:
-        return index.insert(operation.key, operation.value)
+        return index.insert(key, operation.value)
     if operation.kind is OpKind.UPDATE:
-        return index.update(operation.key, operation.value)
+        return index.update(key, operation.value)
     if operation.kind is OpKind.DELETE:
-        return index.delete(operation.key)
+        return index.delete(key)
     raise ValueError(f"unknown operation kind {operation.kind!r}")
 
 

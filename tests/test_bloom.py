@@ -102,3 +102,54 @@ class TestBloomFilter:
         bloom = BloomFilter.for_capacity(max(len(keys), 1))
         bloom.update(keys)
         assert all(key in bloom for key in keys)
+
+
+class TestBitsetStorage:
+    """The bytearray bitset introduced by the hash-once/perf PR."""
+
+    def test_iter_set_bits_matches_added_positions(self):
+        bloom = BloomFilter(num_bits=256, num_hashes=4)
+        expected = set()
+        for i in range(20):
+            key = b"bit-%d" % i
+            expected.update(bloom.bit_positions(key))
+            bloom.add(key)
+        assert set(bloom.iter_set_bits()) == expected
+
+    def test_iter_set_bits_empty(self):
+        assert list(BloomFilter(64, 2).iter_set_bits()) == []
+
+    def test_fill_fraction_is_exact_popcount(self):
+        bloom = BloomFilter(num_bits=100, num_hashes=3)
+        bloom.update(b"fill-%d" % i for i in range(40))
+        ones = len(set(bloom.iter_set_bits()))
+        assert bloom.fill_fraction() == ones / 100
+
+    def test_bit_storage_padded_to_whole_words(self):
+        for num_bits in (1, 7, 8, 63, 64, 65, 100):
+            bloom = BloomFilter(num_bits=num_bits, num_hashes=2)
+            assert len(bloom._bits) % 8 == 0
+            assert len(bloom._bits) * 8 >= num_bits
+            bloom.add(b"x")
+            assert all(pos < num_bits for pos in bloom.iter_set_bits())
+
+    def test_digest_keys_equal_byte_keys(self):
+        from repro.core.hashing import KeyDigest
+
+        plain = BloomFilter(num_bits=512, num_hashes=5)
+        via_digest = BloomFilter(num_bits=512, num_hashes=5)
+        keys = [b"dk-%d" % i for i in range(50)]
+        plain.update(keys)
+        via_digest.update(KeyDigest(key) for key in keys)
+        assert plain._bits == via_digest._bits
+        assert all(KeyDigest(key) in plain for key in keys)
+        assert all(key in via_digest for key in keys)
+
+    def test_copy_after_clear_round_trip(self):
+        bloom = BloomFilter(num_bits=128, num_hashes=3)
+        bloom.add(b"a")
+        clone = bloom.copy()
+        bloom.clear()
+        assert b"a" in clone
+        assert b"a" not in bloom
+        assert len(bloom._bits) == len(clone._bits)
