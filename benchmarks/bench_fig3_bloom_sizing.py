@@ -7,7 +7,6 @@ and flattens past ~1 GB.  This bench regenerates both series.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.common import print_table
 from repro.analysis.cost_model import INTEL_SSD_COSTS, sweep_lookup_overhead

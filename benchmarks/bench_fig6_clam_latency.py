@@ -20,7 +20,6 @@ from repro.workloads import (
     WorkloadRunner,
     WorkloadSpec,
     build_lookup_then_insert_workload,
-    summarize_latencies,
 )
 from repro.workloads.metrics import fraction_at_or_below
 

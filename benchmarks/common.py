@@ -6,10 +6,9 @@ from __future__ import annotations
 import json
 import platform
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, Optional, Sequence
 
 from repro.core import CLAM, CLAMConfig
-from repro.flashsim import SimulationClock
 from repro.service import ClusterService
 
 #: Repository root (parent of this ``benchmarks`` package); machine-readable
@@ -98,6 +97,22 @@ def standard_cluster(
         num_shards=num_shards,
         config=standard_config(**config_overrides),
         storage=storage,
+    )
+
+
+def standard_replicated_cluster(
+    num_shards: int = 4,
+    replication_factor: int = 2,
+    storage: str = "intel-ssd",
+    **config_overrides,
+) -> ClusterService:
+    """A replicated cluster (key tracking on) for the failover experiments."""
+    return ClusterService(
+        num_shards=num_shards,
+        config=standard_config(**config_overrides),
+        storage=storage,
+        replication_factor=replication_factor,
+        track_keys=True,
     )
 
 

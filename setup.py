@@ -15,11 +15,12 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-bufferhash",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "Reproduction of 'Cheap and Large CAMs for High Performance "
         "Data-Intensive Networked Systems' (BufferHash/CLAM, NSDI 2010) "
-        "with a sharded service layer and traffic simulator"
+        "with a sharded, replicated, failure-tolerant service layer and "
+        "traffic simulator"
     ),
     long_description=__doc__,
     package_dir={"": "src"},

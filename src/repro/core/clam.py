@@ -20,7 +20,7 @@ from typing import Dict, Optional, Union
 from repro.core.bloom import BloomFilter
 from repro.core.bufferhash import BufferHash
 from repro.core.config import CLAMConfig
-from repro.core.errors import ConfigurationError
+from repro.core.errors import ConfigurationError, DeviceFailedError
 from repro.core.eviction import EvictionPolicy
 from repro.core.hashing import (
     UNBUFFERED_PAGE_SEED,
@@ -150,6 +150,21 @@ class CLAM:
 
     # -- Hash-table API -----------------------------------------------------------------
 
+    def _check_available(self) -> None:
+        """Refuse every operation while any backing device is crash-stopped.
+
+        A crash-stop (see :mod:`repro.flashsim.faults`) models the whole node
+        dying, so even operations that would have been served from the DRAM
+        buffer are refused — without this gate a dead shard would keep
+        answering from memory.  Intermittent-error and degraded fault modes
+        are *not* gated here; they surface through the device I/O path only.
+        """
+        for device in self.devices:
+            if device.faults.is_crashed:
+                raise DeviceFailedError(
+                    f"CLAM refusing operation: device {device.name!r} has crash-stopped"
+                )
+
     def _canonical(self, key: KeyLike) -> KeyLike:
         """Canonicalise ``key`` exactly once at the public API boundary.
 
@@ -164,6 +179,7 @@ class CLAM:
 
     def insert(self, key: KeyLike, value: bytes) -> InsertResult:
         """Insert or update a (key, value) pair."""
+        self._check_available()
         key = self._canonical(key)
         if self.bufferhash is not None:
             result = self.bufferhash.insert(key, value)
@@ -178,6 +194,7 @@ class CLAM:
 
     def lookup(self, key: KeyLike) -> LookupResult:
         """Look up the most recent value for a key."""
+        self._check_available()
         key = self._canonical(key)
         if self.bufferhash is not None:
             result = self.bufferhash.lookup(key)
@@ -188,6 +205,7 @@ class CLAM:
 
     def delete(self, key: KeyLike) -> DeleteResult:
         """Delete a key."""
+        self._check_available()
         key = self._canonical(key)
         if self.bufferhash is not None:
             result = self.bufferhash.delete(key)

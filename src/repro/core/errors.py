@@ -19,3 +19,14 @@ class ConfigurationError(BufferHashError):
 
 class KeyTooLargeError(BufferHashError):
     """Raised when a key or value does not fit in an incarnation page slot."""
+
+
+class DeviceFailedError(BufferHashError):
+    """Raised when an I/O reaches a simulated device that has crash-stopped or
+    is deterministically injecting errors (see :mod:`repro.flashsim.faults`)."""
+
+
+class ShardUnavailableError(BufferHashError):
+    """Raised by the service layer when an operation has no live replica left
+    to run on — every shard in the key's preference list is failed or has been
+    removed from the cluster (see :mod:`repro.service.cluster`)."""

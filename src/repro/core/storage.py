@@ -17,7 +17,7 @@ interface used by :class:`~repro.core.supertable.SuperTable`.
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.core.errors import ConfigurationError
 from repro.flashsim.device import StorageDevice

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 _COUNT = struct.Struct("<H")
 _ENTRY_LEN = struct.Struct("<H")

@@ -26,12 +26,17 @@ Public entry points
     Seek + rotational latency model of a hard disk.
 :class:`DRAMDevice`
     Near-zero-latency memory device used for cost-efficiency comparisons.
+:class:`FaultInjector`
+    Deterministic fault injection (crash-stop, seeded intermittent I/O
+    errors, latency degradation) carried by every device; the substrate the
+    service layer's failure handling is built on.
 :data:`INTEL_SSD_PROFILE`, :data:`TRANSCEND_SSD_PROFILE`,
 :data:`GENERIC_FLASH_CHIP_PROFILE`, :data:`MAGNETIC_DISK_PROFILE`
     Calibrated device parameter sets.
 """
 
 from repro.flashsim.clock import ClockEnsemble, SimulationClock
+from repro.flashsim.faults import FaultInjector, FaultMode
 from repro.flashsim.latency import LinearCostModel, IOCost
 from repro.flashsim.stats import IOStats, IOEvent, IOKind
 from repro.flashsim.device import StorageDevice, DeviceGeometry
@@ -45,6 +50,8 @@ from repro.flashsim.dram import DRAMDevice, DRAM_PROFILE, DRAMProfile
 __all__ = [
     "ClockEnsemble",
     "SimulationClock",
+    "FaultInjector",
+    "FaultMode",
     "LinearCostModel",
     "IOCost",
     "IOStats",

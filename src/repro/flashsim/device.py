@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.flashsim.clock import SimulationClock
+from repro.flashsim.faults import FaultInjector
 from repro.flashsim.stats import IOEvent, IOKind, IOStats
 
 
@@ -81,6 +82,10 @@ class StorageDevice(abc.ABC):
         self.clock = clock if clock is not None else SimulationClock()
         self.stats = IOStats(keep_events=keep_events)
         self.name = name
+        #: Fault-injection hook gating every I/O (healthy by default); see
+        #: :mod:`repro.flashsim.faults` and the :meth:`fail`/:meth:`heal`
+        #: convenience methods below.
+        self.faults = FaultInjector(device_name=name)
         # Sparse payload store: page index -> bytes.  Pages never written
         # read back as empty bytes, mirroring an erased device.
         self._pages: dict[int, bytes] = {}
@@ -134,7 +139,7 @@ class StorageDevice(abc.ABC):
         """Read one page; returns ``(payload, latency_ms)``."""
         self._check_page(page_index)
         sequential = self._is_sequential(page_index)
-        latency = self._read_latency(self.geometry.page_size, sequential)
+        latency = self.faults.check(self._read_latency(self.geometry.page_size, sequential))
         self._record(IOKind.READ, self.geometry.page_size, latency, sequential)
         return self._load_page(page_index), latency
 
@@ -150,7 +155,7 @@ class StorageDevice(abc.ABC):
             sequential = self._is_sequential(page_index)
         else:
             self._last_accessed_page = page_index
-        latency = self._write_latency(self.geometry.page_size, sequential)
+        latency = self.faults.check(self._write_latency(self.geometry.page_size, sequential))
         self._record(IOKind.WRITE, self.geometry.page_size, latency, sequential)
         self._store_page(page_index, data)
         return latency
@@ -162,7 +167,7 @@ class StorageDevice(abc.ABC):
         self._check_page(start_page)
         self._check_page(start_page + num_pages - 1)
         nbytes = num_pages * self.geometry.page_size
-        latency = self._read_latency(nbytes, sequential=True)
+        latency = self.faults.check(self._read_latency(nbytes, sequential=True))
         self._record(IOKind.READ, nbytes, latency, sequential=True)
         self._last_accessed_page = start_page + num_pages - 1
         return [self._load_page(start_page + i) for i in range(num_pages)], latency
@@ -174,12 +179,28 @@ class StorageDevice(abc.ABC):
         self._check_page(start_page)
         self._check_page(start_page + len(pages) - 1)
         nbytes = len(pages) * self.geometry.page_size
-        latency = self._write_latency(nbytes, sequential=True)
+        latency = self.faults.check(self._write_latency(nbytes, sequential=True))
         self._record(IOKind.WRITE, nbytes, latency, sequential=True)
         for offset, data in enumerate(pages):
             self._store_page(start_page + offset, data)
         self._last_accessed_page = start_page + len(pages) - 1
         return latency
+
+    # -- Fault injection -------------------------------------------------------
+
+    def fail(self) -> None:
+        """Crash-stop the device: every I/O raises
+        :class:`~repro.core.errors.DeviceFailedError` until :meth:`heal`."""
+        self.faults.crash()
+
+    def heal(self) -> None:
+        """Clear any injected fault and resume healthy operation."""
+        self.faults.heal()
+
+    @property
+    def is_failed(self) -> bool:
+        """Whether the device is currently crash-stopped."""
+        return self.faults.is_crashed
 
     # -- Latency hooks ---------------------------------------------------------
 

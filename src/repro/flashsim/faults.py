@@ -1,0 +1,141 @@
+"""Deterministic fault injection for simulated storage devices.
+
+Every :class:`~repro.flashsim.device.StorageDevice` owns a
+:class:`FaultInjector` that is consulted before each I/O.  A healthy injector
+is a no-op; a faulted one can
+
+* **crash-stop** the device (every I/O raises
+  :class:`~repro.core.errors.DeviceFailedError` until :meth:`heal`),
+* inject **intermittent I/O errors** at a configured rate, drawn from a
+  seeded RNG so a given ``(seed, error_rate)`` pair always fails the exact
+  same sequence of I/Os, or
+* **degrade** the device, multiplying and/or padding each operation's latency
+  without failing it (a sick-but-alive replica).
+
+The injector is the mechanism underneath shard failure in the service layer:
+:meth:`repro.service.cluster.ClusterService.fail_shard` crashes a shard's
+devices, the replicated read/write paths observe the resulting
+``DeviceFailedError``\\ s, and the
+:class:`~repro.service.recovery.RecoveryCoordinator` re-replicates what the
+dead shard owned.  Everything is deterministic under seed control, so failure
+experiments replay exactly.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from typing import Optional
+
+from repro.core.errors import DeviceFailedError
+
+
+class FaultMode(enum.Enum):
+    """Operating state of a :class:`FaultInjector`."""
+
+    HEALTHY = "healthy"
+    CRASHED = "crashed"
+    IO_ERRORS = "io-errors"
+    DEGRADED = "degraded"
+
+
+class FaultInjector:
+    """Per-device fault state consulted before every simulated I/O.
+
+    Parameters
+    ----------
+    device_name:
+        Used only in exception messages, so failures name the device.
+    seed:
+        Seed for the intermittent-error RNG; the same seed and error rate
+        reproduce the same sequence of failed I/Os.
+    """
+
+    def __init__(self, device_name: str = "device", seed: int = 0) -> None:
+        self.device_name = device_name
+        self._seed = seed
+        self._rng = random.Random(seed)
+        self.mode = FaultMode.HEALTHY
+        self.error_rate = 0.0
+        self.latency_multiplier = 1.0
+        self.extra_latency_ms = 0.0
+        #: I/Os refused with :class:`DeviceFailedError` (crash or injected).
+        self.faulted_ios = 0
+        #: I/Os that went through while the device was degraded.
+        self.degraded_ios = 0
+
+    # -- State transitions -----------------------------------------------------
+
+    def crash(self) -> None:
+        """Crash-stop: every subsequent I/O raises until :meth:`heal`."""
+        self.mode = FaultMode.CRASHED
+
+    def inject_errors(self, error_rate: float, seed: Optional[int] = None) -> None:
+        """Fail a deterministic ``error_rate`` fraction of subsequent I/Os."""
+        if not 0.0 < error_rate <= 1.0:
+            raise ValueError("error_rate must be in (0, 1]")
+        if seed is not None:
+            self._seed = seed
+        self._rng = random.Random(self._seed)
+        self.error_rate = error_rate
+        self.mode = FaultMode.IO_ERRORS
+
+    def degrade(self, latency_multiplier: float = 1.0, extra_latency_ms: float = 0.0) -> None:
+        """Slow the device down without failing it."""
+        if latency_multiplier < 1.0:
+            raise ValueError("latency_multiplier must be >= 1")
+        if extra_latency_ms < 0.0:
+            raise ValueError("extra_latency_ms must be non-negative")
+        self.latency_multiplier = latency_multiplier
+        self.extra_latency_ms = extra_latency_ms
+        self.mode = FaultMode.DEGRADED
+
+    def heal(self) -> None:
+        """Return to healthy operation (counters are preserved)."""
+        self.mode = FaultMode.HEALTHY
+        self.error_rate = 0.0
+        self.latency_multiplier = 1.0
+        self.extra_latency_ms = 0.0
+
+    # -- Introspection ---------------------------------------------------------
+
+    @property
+    def is_healthy(self) -> bool:
+        """Whether I/Os currently pass through unharmed."""
+        return self.mode is FaultMode.HEALTHY
+
+    @property
+    def is_crashed(self) -> bool:
+        """Whether the device is crash-stopped."""
+        return self.mode is FaultMode.CRASHED
+
+    # -- The hook devices call -------------------------------------------------
+
+    def check(self, latency_ms: float) -> float:
+        """Gate one I/O: raise on a fault, else return the (possibly inflated)
+        latency the operation should cost.
+
+        Called by :class:`~repro.flashsim.device.StorageDevice` with the
+        fault-free latency of the operation about to run.
+        """
+        if self.mode is FaultMode.HEALTHY:
+            return latency_ms
+        if self.mode is FaultMode.CRASHED:
+            self.faulted_ios += 1
+            raise DeviceFailedError(f"device {self.device_name!r} has crash-stopped")
+        if self.mode is FaultMode.IO_ERRORS:
+            if self._rng.random() < self.error_rate:
+                self.faulted_ios += 1
+                raise DeviceFailedError(
+                    f"device {self.device_name!r} returned an injected I/O error"
+                )
+            return latency_ms
+        # DEGRADED: sick but alive.
+        self.degraded_ios += 1
+        return latency_ms * self.latency_multiplier + self.extra_latency_ms
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultInjector(device={self.device_name!r}, mode={self.mode.value!r}, "
+            f"faulted={self.faulted_ios})"
+        )

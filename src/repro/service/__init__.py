@@ -7,6 +7,15 @@ amortises dispatch overhead across per-shard sub-batches, a cluster facade
 exposes the whole fleet through the familiar single-index interface, and a
 closed-loop traffic simulator drives it with M skewed clients.
 
+With ``replication_factor=N`` the cluster survives shard failures: writes
+fan out to each key's N-shard preference list, reads fail over (with
+read-repair) to surviving replicas, and a
+:class:`~repro.service.recovery.RecoveryCoordinator` re-replicates a dead
+shard's key ranges onto the survivors along the router's exact handoff arcs.
+Faults are injected deterministically at the device layer
+(:mod:`repro.flashsim.faults`), either directly or on a request-count
+schedule (:class:`FailureEvent`) inside the traffic simulator.
+
 Quick start::
 
     from repro.service import ClusterService, TrafficSimulator, TrafficSpec
@@ -34,9 +43,11 @@ from repro.service.batch import (
     ShardBatchStats,
 )
 from repro.service.cluster import ClusterService, ClusterStats
+from repro.service.recovery import RecoveryCoordinator, RecoveryReport
 from repro.service.router import RING_SPACE, HandoffStats, ShardRouter
 from repro.service.simulator import (
     ClientReport,
+    FailureEvent,
     TrafficReport,
     TrafficSimulator,
     TrafficSpec,
@@ -57,4 +68,7 @@ __all__ = [
     "TrafficSpec",
     "TrafficReport",
     "ClientReport",
+    "FailureEvent",
+    "RecoveryCoordinator",
+    "RecoveryReport",
 ]

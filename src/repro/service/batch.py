@@ -12,14 +12,35 @@ the slowest shard finishes — shards run in parallel on independent clocks.
 The executor works against any mapping of shard id to an object satisfying
 :class:`repro.workloads.runner.HashIndex`; in practice that is the
 :class:`~repro.service.cluster.ClusterService`'s fleet of CLAMs.
+
+Two operating modes
+-------------------
+*Stand-alone* (no ``is_live`` hook): the original single-copy behaviour —
+each operation goes to the ring owner, a router/instance desync raises
+:class:`~repro.core.errors.ConfigurationError`, and device failures
+propagate to the caller.
+
+*Managed* (``is_live``/``on_shard_error`` wired up by a
+:class:`~repro.service.cluster.ClusterService`): replication-aware and
+failure-tolerant.  Writes fan out to every live shard of the key's
+preference list, lookups go to the first live replica, a shard that raises
+:class:`~repro.core.errors.DeviceFailedError` mid-batch is reported through
+``on_shard_error`` and its unfinished operations are re-dispatched to the
+next live replica; only an operation with no live replica left raises the
+typed :class:`~repro.core.errors.ShardUnavailableError` (never a bare
+``KeyError``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
-from repro.core.errors import ConfigurationError
+from repro.core.errors import (
+    ConfigurationError,
+    DeviceFailedError,
+    ShardUnavailableError,
+)
 from repro.core.hashing import KeyLike, canonical_key
 from repro.service.router import ShardRouter
 from repro.workloads.runner import apply_operation
@@ -63,12 +84,14 @@ class BatchResult:
 
     #: Result records in the original submission order (LookupResult,
     #: InsertResult or DeleteResult depending on each operation's kind).
+    #: With replication, a write's record comes from its primary replica
+    #: (falling back to the first surviving replica if the primary failed).
     results: List[object] = field(default_factory=list)
     per_shard: Dict[str, ShardBatchStats] = field(default_factory=dict)
     #: Time spent routing keys, charged to each owning shard's clock so that
     #: clock-derived durations and makespans share one time base.
     routing_ms: float = 0.0
-    #: Dispatch overhead actually paid (once per shard touched).
+    #: Dispatch overhead actually paid (once per shard sub-batch dispatched).
     dispatch_ms: float = 0.0
     #: Dispatch overhead the same operations would have paid unbatched.
     dispatch_ms_unbatched: float = 0.0
@@ -76,6 +99,10 @@ class BatchResult:
     busy_ms: float = 0.0
     #: Batch completion time: the slowest shard's sub-batch, all costs in.
     makespan_ms: float = 0.0
+    #: Shards that raised DeviceFailedError while executing this batch.
+    failed_shards: List[str] = field(default_factory=list)
+    #: Operations re-dispatched to another replica after a shard failure.
+    retried_operations: int = 0
 
     @property
     def operations(self) -> int:
@@ -91,6 +118,17 @@ class BatchResult:
     def dispatch_saved_ms(self) -> float:
         """Dispatch overhead amortised away relative to unbatched execution."""
         return self.dispatch_ms_unbatched - self.dispatch_ms
+
+
+@dataclass
+class _Slot:
+    """One (operation, replica) execution unit inside a batch."""
+
+    index: int
+    operation: Operation
+    key: KeyLike
+    primary: bool
+    attempted: Set[str] = field(default_factory=set)
 
 
 class BatchExecutor:
@@ -112,6 +150,13 @@ class BatchExecutor:
         hash and the shard-side operation, so a batched key's bytes are
         hashed at most once end to end.  Disable to reproduce the original
         route-then-rehash behaviour (measurement ablation).
+    replication_factor:
+        Copies of every write, placed on the key's preference list.
+    is_live / on_shard_error / on_missed_write:
+        The cluster's live view, failure-reporting and hinted-handoff hooks;
+        providing ``is_live`` switches the executor into managed mode (see
+        module docstring).  ``on_missed_write(shard_id, key)`` fires for
+        every write copy a down or failing replica did not receive.
     """
 
     def __init__(
@@ -121,14 +166,60 @@ class BatchExecutor:
         dispatch_overhead_ms: float = DEFAULT_DISPATCH_OVERHEAD_MS,
         routing_cost_ms: float = DEFAULT_ROUTING_COST_MS,
         hash_once: bool = True,
+        replication_factor: int = 1,
+        is_live: Optional[Callable[[str], bool]] = None,
+        on_shard_error: Optional[Callable[[str], bool]] = None,
+        on_missed_write: Optional[Callable[[str, KeyLike], None]] = None,
     ) -> None:
         if dispatch_overhead_ms < 0 or routing_cost_ms < 0:
             raise ConfigurationError("overhead costs must be non-negative")
+        if replication_factor < 1:
+            raise ConfigurationError("replication_factor must be at least 1")
         self.router = router
         self.shards = shards
         self.dispatch_overhead_ms = dispatch_overhead_ms
         self.routing_cost_ms = routing_cost_ms
         self.hash_once = hash_once
+        self.replication_factor = replication_factor
+        self._is_live = is_live
+        self._on_shard_error = on_shard_error
+        self._on_missed_write = on_missed_write
+
+    @property
+    def managed(self) -> bool:
+        """Whether a cluster's live view drives failure handling."""
+        return self._is_live is not None
+
+    def _notify_failure(self, shard_id: str) -> None:
+        if self._on_shard_error is not None:
+            self._on_shard_error(shard_id)
+
+    def _targets(self, key: KeyLike, kind: OpKind, attempted: Set[str]) -> Tuple[str, ...]:
+        """Replica shards one operation dispatches to.
+
+        Stand-alone mode routes to the raw preference list (a missing
+        instance is a configuration bug, caught at sub-batch time).  Managed
+        mode filters through the cluster's live view — the fix for the old
+        behaviour where a shard removed mid-flight surfaced as a bare
+        ``KeyError`` — and raises :class:`ShardUnavailableError` when nothing
+        is left.
+        """
+        replicas = self.router.preference_list(key, self.replication_factor)
+        if self._is_live is not None:
+            live = tuple(s for s in replicas if s not in attempted and self._is_live(s))
+            if kind is not OpKind.LOOKUP and self._on_missed_write is not None:
+                for shard_id in replicas:
+                    if shard_id not in live and shard_id not in attempted:
+                        self._on_missed_write(shard_id, key)
+            if not live:
+                raise ShardUnavailableError(
+                    f"no live replica remains for a {kind.value} operation "
+                    f"(replication_factor={self.replication_factor})"
+                )
+            replicas = live
+        if kind is OpKind.LOOKUP:
+            return replicas[:1]
+        return replicas
 
     def execute(self, operations: Iterable[Operation]) -> BatchResult:
         """Execute ``operations`` as one batch and return the breakdown."""
@@ -138,58 +229,153 @@ class BatchExecutor:
             return batch
 
         # Route the whole batch up front, preserving submission order within
-        # each shard (same key -> same shard, so per-key order is preserved).
-        # The key digest computed for routing rides along with the operation
-        # so the shard reuses it instead of re-hashing the key bytes.
+        # each shard (same key -> same replica set, so per-key order is
+        # preserved).  The key digest computed for routing rides along with
+        # the operation so the shard reuses it instead of re-hashing.
         hash_once = self.hash_once
-        groups: Dict[str, List[Tuple[int, Operation, KeyLike]]] = {}
-        for index, operation in enumerate(submitted):
-            key = canonical_key(operation.key, hash_once)
-            shard_id = self.router.route(key)
-            groups.setdefault(shard_id, []).append((index, operation, key))
+        try:
+            groups: Dict[str, List[_Slot]] = {}
+            for index, operation in enumerate(submitted):
+                key = canonical_key(operation.key, hash_once)
+                for role, shard_id in enumerate(self._targets(key, operation.kind, set())):
+                    groups.setdefault(shard_id, []).append(
+                        _Slot(index=index, operation=operation, key=key, primary=role == 0)
+                    )
 
-        for shard_id, group in groups.items():
-            stats = self._execute_sub_batch(shard_id, group, batch.results)
-            batch.per_shard[shard_id] = stats
-            batch.busy_ms += stats.busy_ms
-            batch.dispatch_ms += stats.dispatch_ms
-            batch.routing_ms += stats.routing_ms
+            while groups:
+                failed_slots: List[_Slot] = []
+                for shard_id, slots in groups.items():
+                    stats, leftover = self._execute_sub_batch(shard_id, slots, batch.results)
+                    if stats is not None:
+                        self._merge_shard_stats(batch, stats)
+                    if leftover:
+                        if shard_id not in batch.failed_shards:
+                            batch.failed_shards.append(shard_id)
+                        failed_slots.extend(leftover)
+                groups = self._reroute(failed_slots, batch)
+        except ShardUnavailableError as error:
+            # Operations the batch already applied are on shards; hand their
+            # result records to the caller (the cluster's key catalog must
+            # learn about applied writes even when the batch fails).
+            error.partial_results = batch.results
+            raise
+
         batch.dispatch_ms_unbatched = self.dispatch_overhead_ms * len(submitted)
-        batch.makespan_ms = max(stats.total_ms for stats in batch.per_shard.values())
+        batch.makespan_ms = max(
+            (stats.total_ms for stats in batch.per_shard.values()), default=0.0
+        )
         return batch
+
+    def _reroute(self, failed_slots: List[_Slot], batch: BatchResult) -> Dict[str, List[_Slot]]:
+        """Re-dispatch the operations a failed shard left behind.
+
+        A write whose record was already produced by a surviving replica
+        needs no retry (the lost copy is the recovery coordinator's job, not
+        the batch's); everything else moves to the next live replica that has
+        not been attempted yet.
+        """
+        groups: Dict[str, List[_Slot]] = {}
+        for slot in sorted(failed_slots, key=lambda s: s.index):
+            if (
+                slot.operation.kind is not OpKind.LOOKUP
+                and batch.results[slot.index] is not None
+            ):
+                continue
+            targets = self._targets(slot.key, slot.operation.kind, slot.attempted)
+            batch.retried_operations += 1
+            slot.primary = True
+            groups.setdefault(targets[0], []).append(slot)
+        return groups
+
+    def _merge_shard_stats(self, batch: BatchResult, stats: ShardBatchStats) -> None:
+        existing = batch.per_shard.get(stats.shard_id)
+        if existing is None:
+            batch.per_shard[stats.shard_id] = stats
+        else:
+            for field_name in (
+                "operations",
+                "lookups",
+                "inserts",
+                "updates",
+                "deletes",
+                "lookup_hits",
+                "busy_ms",
+                "dispatch_ms",
+                "routing_ms",
+                "flash_reads",
+                "flash_writes",
+            ):
+                merged = getattr(existing, field_name) + getattr(stats, field_name)
+                setattr(existing, field_name, merged)
+        batch.busy_ms += stats.busy_ms
+        batch.dispatch_ms += stats.dispatch_ms
+        batch.routing_ms += stats.routing_ms
 
     def _execute_sub_batch(
         self,
         shard_id: str,
-        group: List[Tuple[int, Operation, KeyLike]],
+        slots: List[_Slot],
         results: List[object],
-    ) -> ShardBatchStats:
+    ) -> Tuple[Optional[ShardBatchStats], List[_Slot]]:
+        """Run one shard's slots; returns (stats, slots left behind by a failure)."""
         try:
             shard = self.shards[shard_id]
         except KeyError:
-            raise ConfigurationError(
-                f"router targets shard {shard_id!r} but no such instance exists"
-            ) from None
-        stats = ShardBatchStats(shard_id=shard_id, operations=len(group))
+            if self._is_live is None:
+                raise ConfigurationError(
+                    f"router targets shard {shard_id!r} but no such instance exists"
+                ) from None
+            # Managed mode: the instance vanished between routing and
+            # execution (removed mid-flight) — report it and let the live
+            # view re-route the whole group.
+            self._notify_failure(shard_id)
+            for slot in slots:
+                slot.attempted.add(shard_id)
+            return None, slots
+        stats = ShardBatchStats(shard_id=shard_id)
         stats.dispatch_ms = self.dispatch_overhead_ms
-        stats.routing_ms = self.routing_cost_ms * len(group)
+        stats.routing_ms = self.routing_cost_ms * len(slots)
         clock = getattr(shard, "clock", None)
         if clock is not None:
             # Charge routing + dispatch to the owning shard's clock so that
             # every duration in the system derives from the same time line.
             clock.advance(stats.dispatch_ms + stats.routing_ms)
         started_ms = clock.now_ms if clock is not None else 0.0
-        for index, operation, key in group:
-            result = apply_operation(shard, operation, key=key)
-            results[index] = result
-            _count(stats, operation.kind, result)
+        fallback_busy_ms = 0.0
+        for position, slot in enumerate(slots):
+            slot.attempted.add(shard_id)
+            try:
+                result = apply_operation(shard, slot.operation, key=slot.key)
+            except DeviceFailedError:
+                if self._is_live is None:
+                    raise
+                self._notify_failure(shard_id)
+                leftover = slots[position:]
+                for pending in leftover:
+                    pending.attempted.add(shard_id)
+                    # This shard's copy of each unfinished write is lost until
+                    # a heal replays it or recovery re-replicates the key.
+                    if (
+                        pending.operation.kind is not OpKind.LOOKUP
+                        and self._on_missed_write is not None
+                    ):
+                        self._on_missed_write(shard_id, pending.key)
+                break
+            if slot.primary:
+                results[slot.index] = result
+            elif results[slot.index] is None:
+                # A replica's record stands in for a failed primary's.
+                results[slot.index] = result
+            stats.operations += 1
+            _count(stats, slot.operation.kind, result)
+            fallback_busy_ms += getattr(result, "latency_ms", 0.0)
+        else:
+            leftover = []
         if clock is not None:
             stats.busy_ms = clock.now_ms - started_ms
         else:
-            stats.busy_ms = sum(
-                getattr(results[index], "latency_ms", 0.0) for index, _, _ in group
-            )
-        return stats
+            stats.busy_ms = fallback_busy_ms
+        return stats, leftover
 
 
 def _count(stats: ShardBatchStats, kind: OpKind, result) -> None:

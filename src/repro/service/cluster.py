@@ -11,21 +11,36 @@ cluster unchanged.  Keys are placed by a consistent-hash
 :class:`~repro.flashsim.clock.ClockEnsemble` view over the shard clocks
 (parallel shards: elapsed time is the slowest member).
 
+With ``replication_factor=N`` the cluster tolerates shard failures: every
+write lands on the key's N-shard preference list
+(:meth:`~repro.service.router.ShardRouter.preference_list`), reads are served
+by the first live replica with read-repair of stale ones, shards that throw
+:class:`~repro.core.errors.DeviceFailedError` (see
+:mod:`repro.flashsim.faults`) are marked down after ``failure_threshold``
+errors and routed around, and the
+:class:`~repro.service.recovery.RecoveryCoordinator` re-replicates what a
+dead shard owned onto the survivors along the router's exact handoff arcs.
+
 :class:`ClusterStats` merges the cheap per-instance counters
 (:meth:`repro.core.clam.CLAM.counters`) across the fleet: flash/DRAM I/O,
 flush/eviction counts, hit rates, plus load-balance measures (hottest shard,
-imbalance factor) that the traffic simulator's hot-shard reporting builds on.
+imbalance factor) and the fleet's failure/recovery health
+(:meth:`ClusterStats.health`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.clam import CLAM
 from repro.core.config import CLAMConfig
-from repro.core.errors import ConfigurationError
+from repro.core.errors import (
+    ConfigurationError,
+    DeviceFailedError,
+    ShardUnavailableError,
+)
 from repro.core.eviction import EvictionPolicy
-from repro.core.hashing import KeyLike, canonical_key
+from repro.core.hashing import KeyLike, canonical_key, key_data
 from repro.core.results import DeleteResult, InsertResult, LookupResult
 from repro.flashsim.clock import ClockEnsemble, SimulationClock
 from repro.service.batch import (
@@ -35,7 +50,7 @@ from repro.service.batch import (
     BatchResult,
 )
 from repro.service.router import HandoffStats, ShardRouter
-from repro.workloads.workload import Operation
+from repro.workloads.workload import Operation, OpKind
 
 
 def imbalance_factor(loads: Iterable[float]) -> float:
@@ -50,8 +65,9 @@ def imbalance_factor(loads: Iterable[float]) -> float:
 class ClusterStats:
     """Merged statistics over every shard of a :class:`ClusterService`."""
 
-    def __init__(self, shards: Dict[str, CLAM]) -> None:
+    def __init__(self, shards: Dict[str, CLAM], service: Optional["ClusterService"] = None) -> None:
         self._shards = shards
+        self._service = service
 
     def per_shard(self) -> Dict[str, Dict[str, float]]:
         """Each shard's cheap counter snapshot (see :meth:`CLAM.counters`)."""
@@ -101,6 +117,29 @@ class ClusterStats:
         """Hottest shard's load over the mean load (1.0 = perfectly balanced)."""
         return imbalance_factor(self.operations_per_shard(per_shard).values())
 
+    def health(self) -> Dict[str, object]:
+        """Failure-handling view of the fleet: liveness, errors, recovery.
+
+        Requires the stats object to be attached to a :class:`ClusterService`
+        (the service constructs it that way); the merged counters above work
+        on a bare shard mapping too.
+        """
+        service = self._service
+        if service is None:
+            raise ConfigurationError("health() needs stats attached to a ClusterService")
+        last = service.last_recovery
+        return {
+            "replication_factor": service.replication_factor,
+            "live_shards": list(service.live_shard_ids),
+            "down_shards": list(service.down_shard_ids),
+            "shard_errors": dict(service.shard_errors),
+            "read_repairs": service.read_repairs,
+            "hinted_handoffs": service.hinted_handoffs,
+            "recoveries": service.recoveries,
+            "keys_re_replicated": last.keys_re_replicated if last is not None else 0,
+            "last_recovery_ms": last.duration_ms if last is not None else 0.0,
+        }
+
 
 class ClusterService:
     """N CLAM shards behind the single-index ``HashIndex`` interface.
@@ -118,6 +157,18 @@ class ClusterService:
         Consistent-hash virtual nodes per shard.
     dispatch_overhead_ms / routing_cost_ms:
         Service-layer simulated costs; see :mod:`repro.service.batch`.
+    replication_factor:
+        Copies of every key, placed on the key's preference list
+        (:meth:`ShardRouter.preference_list`).  With 1 (the default) the
+        cluster behaves exactly like the pre-replication service; with N>=2 a
+        shard can crash without losing keys (see
+        :mod:`repro.service.recovery`).
+    failure_threshold:
+        :class:`~repro.core.errors.DeviceFailedError` count at which a shard
+        is marked down and routed around.
+    track_keys:
+        Maintain the key catalog recovery needs to re-replicate a dead
+        shard's keys.  Defaults to on whenever ``replication_factor > 1``.
     """
 
     def __init__(
@@ -131,6 +182,9 @@ class ClusterService:
         keep_latency_samples: bool = True,
         dispatch_overhead_ms: float = DEFAULT_DISPATCH_OVERHEAD_MS,
         routing_cost_ms: float = DEFAULT_ROUTING_COST_MS,
+        replication_factor: int = 1,
+        failure_threshold: int = 1,
+        track_keys: Optional[bool] = None,
     ) -> None:
         if shard_ids is not None:
             names = list(shard_ids)
@@ -138,12 +192,42 @@ class ClusterService:
             if num_shards <= 0:
                 raise ConfigurationError("num_shards must be positive")
             names = [f"shard-{index}" for index in range(num_shards)]
+        if replication_factor < 1:
+            raise ConfigurationError("replication_factor must be at least 1")
+        if replication_factor > len(names):
+            raise ConfigurationError(
+                f"replication_factor {replication_factor} exceeds the "
+                f"{len(names)} shards available"
+            )
+        if failure_threshold < 1:
+            raise ConfigurationError("failure_threshold must be at least 1")
         self.config = config if config is not None else CLAMConfig.scaled()
         self.storage = storage
         self._eviction_policy = eviction_policy
         self._keep_latency_samples = keep_latency_samples
+        self.replication_factor = replication_factor
+        self.failure_threshold = failure_threshold
         self.shards: Dict[str, CLAM] = {}
         self.clock = ClockEnsemble()
+        # Failure-handling state: cumulative DeviceFailedError counts and the
+        # set of shards currently considered down (still on the ring until a
+        # recovery decommissions or a heal revives them).
+        self._errors: Dict[str, int] = {}
+        self._down: Set[str] = set()
+        self._tracked: Optional[Set[bytes]] = (
+            set() if (track_keys if track_keys is not None else replication_factor > 1) else None
+        )
+        # Hinted handoff: keys each unavailable replica missed a write or
+        # delete for, replayed (from the live replicas' current state) when
+        # the shard is healed.  Without this, a replica that sits *after* the
+        # serving one in the preference list would come back stale forever —
+        # read-repair only fixes replicas a lookup actually probes.
+        self._hints: Dict[str, Set[bytes]] = {}
+        self.read_repairs = 0
+        self.hinted_handoffs = 0
+        self.recoveries = 0
+        #: Most recent :class:`~repro.service.recovery.RecoveryReport`.
+        self.last_recovery = None
         for name in names:
             self._build_shard(name)
         self.router = ShardRouter(names, virtual_nodes=virtual_nodes)
@@ -153,8 +237,12 @@ class ClusterService:
             dispatch_overhead_ms=dispatch_overhead_ms,
             routing_cost_ms=routing_cost_ms,
             hash_once=self.config.use_hash_once,
+            replication_factor=replication_factor,
+            is_live=self.is_live,
+            on_shard_error=self.record_shard_error,
+            on_missed_write=self._record_hint,
         )
-        self.stats = ClusterStats(self.shards)
+        self.stats = ClusterStats(self.shards, service=self)
 
     def _build_shard(self, shard_id: str) -> CLAM:
         if shard_id in self.shards:
@@ -170,11 +258,133 @@ class ClusterService:
         self.clock.add(clam.clock)
         return clam
 
+    # -- Liveness and failure accounting ------------------------------------------------
+
+    @property
+    def live_shard_ids(self) -> Tuple[str, ...]:
+        """Shards currently serving (on the ring, instantiated, not down)."""
+        return tuple(s for s in self.router.shard_ids if self.is_live(s))
+
+    @property
+    def down_shard_ids(self) -> Tuple[str, ...]:
+        """Shards marked down by the error counters (candidates for recovery)."""
+        return tuple(sorted(self._down))
+
+    @property
+    def shard_errors(self) -> Dict[str, int]:
+        """Cumulative :class:`DeviceFailedError` count per shard."""
+        return dict(self._errors)
+
+    def is_live(self, shard_id: str) -> bool:
+        """Whether ``shard_id`` can serve operations right now.
+
+        The *live view* every routing decision goes through: a shard must be
+        instantiated (present in :attr:`shards` — guarding against a shard
+        removed mid-flight) and not marked down by the error counters.
+        """
+        return shard_id in self.shards and shard_id not in self._down
+
+    def record_shard_error(self, shard_id: str) -> bool:
+        """Count one device failure; returns True when the shard goes down."""
+        count = self._errors.get(shard_id, 0) + 1
+        self._errors[shard_id] = count
+        if shard_id not in self._down and count >= self.failure_threshold:
+            self._down.add(shard_id)
+            return True
+        return False
+
+    def fail_shard(self, shard_id: str, mode: str = "crash", **fault_kwargs) -> None:
+        """Inject a fault into every device of one shard.
+
+        ``mode`` is ``"crash"`` (crash-stop), ``"io-errors"``
+        (``error_rate=``, deterministic under the device seed) or
+        ``"degraded"`` (``latency_multiplier=`` / ``extra_latency_ms=``).
+        Injection only plants the fault — the shard is *detected* as down via
+        the error counters once operations start failing, exactly as a real
+        cluster learns about a dead node.
+        """
+        if shard_id not in self.shards:
+            raise ConfigurationError(f"shard {shard_id!r} not present")
+        for device in self.shards[shard_id].devices:
+            if mode == "crash":
+                device.faults.crash()
+            elif mode == "io-errors":
+                device.faults.inject_errors(**fault_kwargs)
+            elif mode == "degraded":
+                device.faults.degrade(**fault_kwargs)
+            else:
+                raise ConfigurationError(f"unknown fault mode {mode!r}")
+
+    def heal_shard(self, shard_id: str) -> None:
+        """Clear faults and error state; the shard resumes serving.
+
+        A healed shard kept its data but missed every write and delete issued
+        while it was unavailable.  Those are replayed here from the hinted-
+        handoff log before the shard rejoins: each hinted key's current value
+        is read from the live replicas and installed (or, if the key was
+        deleted meanwhile, deleted) on the healed shard, so it comes back
+        neither missing recent keys nor serving stale values.  Read-repair
+        on the lookup path remains as a second line of defence.
+        """
+        if shard_id not in self.shards:
+            raise ConfigurationError(f"shard {shard_id!r} not present")
+        for device in self.shards[shard_id].devices:
+            device.faults.heal()
+        self._errors.pop(shard_id, None)
+        self._down.discard(shard_id)
+        for key in sorted(self._hints.pop(shard_id, ())):
+            self._replay_hint(shard_id, key)
+
+    def _record_hint(self, shard_id: str, key: KeyLike) -> None:
+        """Remember that ``shard_id`` missed a write/delete for ``key``."""
+        if shard_id in self.shards:
+            self._hints.setdefault(shard_id, set()).add(key_data(key))
+
+    def _replay_hint(self, shard_id: str, key: bytes) -> None:
+        """Bring one hinted key on a healed shard up to date.
+
+        The authoritative state is whatever the other live replicas say right
+        now: a found value is installed on the healed shard (overwriting any
+        stale version it kept), a unanimous miss means the key was deleted
+        while the shard was down, so the missed delete is applied.  If no
+        other replica can answer, the hint is retained for the next heal.
+        """
+        replicas = self.router.preference_list(key, self.replication_factor)
+        if shard_id not in replicas:
+            return  # the ring changed; the healed shard no longer hosts this key
+        answered = False
+        for other_id in replicas:
+            if other_id == shard_id or not self.is_live(other_id):
+                continue
+            result = self._shard_op(other_id, "lookup", key)
+            if result is None:
+                continue
+            answered = True
+            if result.found:
+                if self._shard_op(shard_id, "insert", key, result.value) is not None:
+                    self.hinted_handoffs += 1
+                return
+        if answered:
+            # Every live replica misses: apply the delete this shard missed.
+            if self._shard_op(shard_id, "delete", key) is not None:
+                self.hinted_handoffs += 1
+        else:
+            self._hints.setdefault(shard_id, set()).add(key)
+
+    @property
+    def tracked_keys(self) -> Optional[frozenset]:
+        """Live keys (canonical bytes) when key tracking is enabled, else None."""
+        return frozenset(self._tracked) if self._tracked is not None else None
+
     # -- HashIndex interface ------------------------------------------------------------
 
     def shard_for(self, key: KeyLike) -> str:
-        """Shard id that owns ``key``."""
+        """Shard id that owns ``key`` (the primary replica)."""
         return self.router.route(self._canonical(key))
+
+    def replicas_for(self, key: KeyLike) -> Tuple[str, ...]:
+        """The key's full preference list (length ``replication_factor``)."""
+        return self.router.preference_list(self._canonical(key), self.replication_factor)
 
     def _canonical(self, key: KeyLike) -> KeyLike:
         """Hash the key once for routing *and* the shard-side operation.
@@ -187,35 +397,119 @@ class ClusterService:
         """
         return canonical_key(key, self.config.use_hash_once)
 
-    def _dispatch(self, key: KeyLike) -> Tuple[CLAM, KeyLike]:
-        key = self._canonical(key)
-        shard = self.shards[self.router.route(key)]
-        # A stand-alone operation pays routing plus the full dispatch overhead
-        # by itself; batches amortise the dispatch share (see BatchExecutor).
+    def _live_replicas(self, key: KeyLike) -> Tuple[str, ...]:
+        """The key's preference list filtered through the live view.
+
+        Raises the typed :class:`ShardUnavailableError` (never a bare
+        ``KeyError``) when nothing is left to serve the key.
+        """
+        replicas = self.router.preference_list(key, self.replication_factor)
+        live = tuple(s for s in replicas if self.is_live(s))
+        if not live:
+            raise ShardUnavailableError(
+                f"no live replica for key (preference list {replicas!r}, "
+                f"down {self.down_shard_ids!r})"
+            )
+        return live
+
+    def _shard_op(self, shard_id: str, op_name: str, *args):
+        """One dispatched operation against one shard; None if the shard fails.
+
+        Charges the stand-alone dispatch + routing overhead to the shard's
+        clock (batches amortise the dispatch share instead, see
+        :class:`BatchExecutor`) and folds any
+        :class:`DeviceFailedError` into the error counters.
+        """
+        shard = self.shards[shard_id]
         shard.clock.advance(
             self.executor.dispatch_overhead_ms + self.executor.routing_cost_ms
         )
-        return shard, key
+        try:
+            return getattr(shard, op_name)(*args)
+        except DeviceFailedError:
+            self.record_shard_error(shard_id)
+            return None
+
+    def _track(self, key: KeyLike, alive: bool) -> None:
+        if self._tracked is None:
+            return
+        data = key_data(key)
+        if alive:
+            self._tracked.add(data)
+        else:
+            self._tracked.discard(data)
+
+    def _write_all(self, op_name: str, key: KeyLike, *args):
+        """Run a write on every live replica; the primary's result is returned.
+
+        Replicas that are down (or fail mid-write) get a hinted-handoff entry
+        so :meth:`heal_shard` can replay what they missed.
+        """
+        key = self._canonical(key)
+        replicas = self.router.preference_list(key, self.replication_factor)
+        primary_result = None
+        for shard_id in replicas:
+            if not self.is_live(shard_id):
+                self._record_hint(shard_id, key)
+                continue
+            result = self._shard_op(shard_id, op_name, key, *args)
+            if result is None:
+                self._record_hint(shard_id, key)
+            elif primary_result is None:
+                primary_result = result
+        if primary_result is None:
+            raise ShardUnavailableError(
+                f"no live replica executed {op_name} (preference list {replicas!r}, "
+                f"down {self.down_shard_ids!r})"
+            )
+        return primary_result
 
     def insert(self, key: KeyLike, value: bytes) -> InsertResult:
-        """Insert or update a (key, value) pair on the owning shard."""
-        shard, key = self._dispatch(key)
-        return shard.insert(key, value)
+        """Insert or update a (key, value) pair on every live replica."""
+        result = self._write_all("insert", key, value)
+        self._track(result.key, alive=True)
+        return result
 
     def update(self, key: KeyLike, value: bytes) -> InsertResult:
-        """Lazy update (alias of insert), routed to the owning shard."""
-        shard, key = self._dispatch(key)
-        return shard.update(key, value)
+        """Lazy update (alias of insert), written to every live replica."""
+        result = self._write_all("update", key, value)
+        self._track(result.key, alive=True)
+        return result
 
     def lookup(self, key: KeyLike) -> LookupResult:
-        """Look up the most recent value for a key on the owning shard."""
-        shard, key = self._dispatch(key)
-        return shard.lookup(key)
+        """Look up a key on the first live replica, with read-repair.
+
+        Replicas are tried in preference-list order.  A replica that answers
+        with a hit wins; any earlier live replica that *missed* (it was down
+        or behind when the value was written) is repaired by re-inserting the
+        value.  A replica that raises :class:`DeviceFailedError` is counted
+        against its error threshold and skipped.  Only when every live
+        replica misses is the miss returned.
+        """
+        key = self._canonical(key)
+        misses: List[str] = []
+        first_miss: Optional[LookupResult] = None
+        for shard_id in self._live_replicas(key):
+            result = self._shard_op(shard_id, "lookup", key)
+            if result is None:
+                continue
+            if result.found:
+                for stale in misses:
+                    if self._shard_op(stale, "insert", key, result.value) is not None:
+                        self.read_repairs += 1
+                return result
+            misses.append(shard_id)
+            if first_miss is None:
+                first_miss = result
+        if first_miss is None:
+            raise ShardUnavailableError("every live replica failed while executing lookup")
+        return first_miss
 
     def delete(self, key: KeyLike) -> DeleteResult:
-        """Delete a key on the owning shard."""
-        shard, key = self._dispatch(key)
-        return shard.delete(key)
+        """Delete a key on every live replica."""
+        result = self._write_all("delete", key)
+        self._track(result.key, alive=False)
+        return result
 
     def get(self, key: KeyLike) -> Optional[bytes]:
         """Convenience accessor returning just the value (or ``None``)."""
@@ -228,7 +522,30 @@ class ClusterService:
 
     def execute_batch(self, operations: Iterable[Operation]) -> BatchResult:
         """Execute a batch of operations grouped by shard (see BatchExecutor)."""
-        return self.executor.execute(operations)
+        submitted = list(operations)
+        try:
+            batch = self.executor.execute(submitted)
+        except ShardUnavailableError as error:
+            # Writes the batch applied before the failing operation are on
+            # shards and must reach the key catalog anyway, or recovery would
+            # never re-replicate them; the executor attaches the partial
+            # per-op results to the error for exactly this purpose.
+            self._track_batch(submitted, getattr(error, "partial_results", None))
+            raise
+        self._track_batch(submitted, batch.results)
+        return batch
+
+    def _track_batch(self, submitted: List[Operation], results: Optional[List[object]]) -> None:
+        """Fold a batch's applied writes into the key catalog."""
+        if self._tracked is None or results is None:
+            return
+        for operation, result in zip(submitted, results):
+            if result is None:
+                continue
+            if operation.kind in (OpKind.INSERT, OpKind.UPDATE):
+                self._track(operation.key, alive=True)
+            elif operation.kind is OpKind.DELETE:
+                self._track(operation.key, alive=False)
 
     # -- Membership ---------------------------------------------------------------------
 
@@ -239,7 +556,7 @@ class ClusterService:
 
     @property
     def num_shards(self) -> int:
-        """Number of shards currently serving."""
+        """Number of shards currently provisioned (live or down)."""
         return len(self.shards)
 
     def add_shard(self, shard_id: Optional[str] = None) -> HandoffStats:
@@ -260,12 +577,20 @@ class ClusterService:
         return self.router.add_shard(shard_id)
 
     def remove_shard(self, shard_id: str) -> HandoffStats:
-        """Decommission a shard and return the key-range handoff it causes."""
+        """Decommission a shard and return the key-range handoff it causes.
+
+        Used both for planned decommissions and by the
+        :class:`~repro.service.recovery.RecoveryCoordinator` to take a dead
+        shard off the ring before re-replicating its key ranges.
+        """
         # The router validates presence and refuses to drop the last shard
         # before mutating anything, so no duplicate guards are needed here.
         handoff = self.router.remove_shard(shard_id)
         clam = self.shards.pop(shard_id)
         self.clock.remove(clam.clock)
+        self._errors.pop(shard_id, None)
+        self._down.discard(shard_id)
+        self._hints.pop(shard_id, None)
         return handoff
 
     # -- Reporting ----------------------------------------------------------------------
@@ -294,6 +619,10 @@ class ClusterService:
         inserts = combined.get("inserts", 0.0)
         summary = {
             "shards": float(self.num_shards),
+            "live_shards": float(len(self.live_shard_ids)),
+            "down_shards": float(len(self.down_shard_ids)),
+            "replication_factor": float(self.replication_factor),
+            "read_repairs": float(self.read_repairs),
             "lookups": lookups,
             "inserts": inserts,
             "mean_lookup_ms": (

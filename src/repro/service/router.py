@@ -158,6 +158,37 @@ class ShardRouter:
         """Shard owner for each key, in order."""
         return [self.route(key) for key in keys]
 
+    def preference_list(self, key: KeyLike, n: int) -> Tuple[str, ...]:
+        """First ``n`` distinct shards on the ring at or after ``key``'s hash.
+
+        The replica placement rule of the service layer: a key with
+        replication factor N lives on ``preference_list(key, N)``.  Entry 0 is
+        always :meth:`route`'s owner, and the list is a *prefix-stable chain*:
+        removing one shard from the ring deletes that shard from the list and
+        shifts the next distinct successor in — every other entry keeps its
+        position (the property :class:`~repro.service.recovery`'s exact
+        handoff reasoning relies on).
+
+        ``n`` is clamped to the number of shards, so a 2-shard ring answers a
+        request for 3 replicas with both shards.
+        """
+        if n <= 0:
+            raise ConfigurationError("preference list size must be positive")
+        limit = min(n, len(self._shards))
+        position = bisect_left(self._points, hash_key(key, seed=RING_SEED))
+        if position == len(self._points):
+            position = 0
+        preference: List[str] = []
+        seen = set()
+        for offset in range(len(self._points)):
+            owner = self._owners[self._points[(position + offset) % len(self._points)]]
+            if owner not in seen:
+                seen.add(owner)
+                preference.append(owner)
+                if len(preference) == limit:
+                    break
+        return tuple(preference)
+
     # -- Membership changes -------------------------------------------------------------
 
     def add_shard(self, shard_id: str) -> HandoffStats:

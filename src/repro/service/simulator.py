@@ -17,6 +17,12 @@ models M such clients over one :class:`~repro.service.cluster.ClusterService`:
 * The report aggregates per-client and per-shard load, end-to-end request
   latency percentiles, and flags **hot shards** whose share of operations
   exceeds ``hot_shard_threshold`` times the mean.
+* A **failure schedule** (a sequence of :class:`FailureEvent`\\ s) can crash,
+  heal or recover shards at chosen request counts, turning the simulator
+  into a deterministic fault-injection harness: the report then also carries
+  the availability observed through the outage and any
+  :class:`~repro.service.recovery.RecoveryReport`\\ s produced by scheduled
+  recoveries.
 
 Everything is deterministic given the spec's seed.
 """
@@ -26,9 +32,11 @@ from __future__ import annotations
 import heapq
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.errors import ConfigurationError, ShardUnavailableError
 from repro.service.cluster import ClusterService, imbalance_factor
+from repro.service.recovery import RecoveryCoordinator, RecoveryReport
 from repro.workloads.keygen import ZipfKeyGenerator, fingerprint_for
 from repro.workloads.metrics import LatencySummary, summarize_latencies
 from repro.workloads.workload import Operation, OpKind
@@ -59,6 +67,10 @@ class TrafficSpec:
     hot_shard_threshold:
         A shard is flagged hot when its operation share exceeds this multiple
         of the mean per-shard share.
+    failure_timeout_ms:
+        Simulated time a client loses on a request that fails with
+        :class:`~repro.core.errors.ShardUnavailableError` (its timeout before
+        giving up on the batch).
     seed:
         Master seed; each client derives an independent substream.
     """
@@ -74,6 +86,7 @@ class TrafficSpec:
     value_size: int = 8
     think_time_ms: float = 0.0
     hot_shard_threshold: float = 1.5
+    failure_timeout_ms: float = 1.0
     seed: int = 42
 
     def __post_init__(self) -> None:
@@ -99,6 +112,50 @@ class TrafficSpec:
             raise ValueError("think_time_ms must be non-negative")
         if self.hot_shard_threshold < 1.0:
             raise ValueError("hot_shard_threshold must be at least 1")
+        if self.failure_timeout_ms < 0:
+            raise ValueError("failure_timeout_ms must be non-negative")
+
+
+#: Actions a :class:`FailureEvent` may take.
+_FAILURE_ACTIONS = ("fail", "heal", "recover")
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One scheduled fault action during a traffic run.
+
+    Attributes
+    ----------
+    at_request:
+        Global request count (0-based) at which the event fires, just before
+        that request is dispatched.
+    action:
+        ``"fail"`` injects a fault into ``shard_id``'s devices
+        (:meth:`ClusterService.fail_shard`), ``"heal"`` clears it
+        (:meth:`ClusterService.heal_shard`), ``"recover"`` runs a
+        :class:`~repro.service.recovery.RecoveryCoordinator` pass over
+        whatever shards the error counters have marked down.
+    shard_id:
+        Target shard (required for ``fail``/``heal``; ignored by
+        ``recover``).
+    mode:
+        Fault flavour for ``fail`` — see :meth:`ClusterService.fail_shard`.
+    """
+
+    at_request: int
+    action: str
+    shard_id: Optional[str] = None
+    mode: str = "crash"
+
+    def __post_init__(self) -> None:
+        if self.at_request < 0:
+            raise ConfigurationError("at_request must be non-negative")
+        if self.action not in _FAILURE_ACTIONS:
+            raise ConfigurationError(
+                f"action must be one of {_FAILURE_ACTIONS}, got {self.action!r}"
+            )
+        if self.action in ("fail", "heal") and self.shard_id is None:
+            raise ConfigurationError(f"{self.action!r} events need a shard_id")
 
 
 @dataclass
@@ -134,6 +191,19 @@ class TrafficReport:
     dispatch_saved_ms: float = 0.0
     lookup_hits: int = 0
     lookups: int = 0
+    #: Requests that failed with ShardUnavailableError (an outage window with
+    #: too few live replicas); ``requests`` counts only successful ones.
+    failed_requests: int = 0
+    #: Schedule events that fired during the run, as (request_no, action, shard).
+    fired_events: List[Tuple[int, str, Optional[str]]] = field(default_factory=list)
+    #: Reports from scheduled ``recover`` events, in firing order.
+    recovery_reports: List[RecoveryReport] = field(default_factory=list)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of issued requests that completed (1.0 = no failures)."""
+        issued = self.requests + self.failed_requests
+        return self.requests / issued if issued else 1.0
 
     @property
     def throughput_ops_per_second(self) -> float:
@@ -207,11 +277,25 @@ class _Client:
 
 
 class TrafficSimulator:
-    """Runs a :class:`TrafficSpec` against a cluster and reports the outcome."""
+    """Runs a :class:`TrafficSpec` against a cluster and reports the outcome.
 
-    def __init__(self, cluster: ClusterService, spec: Optional[TrafficSpec] = None) -> None:
+    ``schedule`` is an optional sequence of :class:`FailureEvent`\\ s fired by
+    global request count, making the simulator double as a deterministic
+    failover harness (``benchmarks/bench_failover.py`` kills and recovers a
+    shard mid-workload exactly this way).
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterService,
+        spec: Optional[TrafficSpec] = None,
+        schedule: Optional[Sequence[FailureEvent]] = None,
+    ) -> None:
         self.cluster = cluster
         self.spec = spec if spec is not None else TrafficSpec()
+        self.schedule = sorted(schedule or (), key=lambda event: event.at_request)
+        #: Coordinator shared by every scheduled ``recover`` event.
+        self.recovery = RecoveryCoordinator(cluster)
 
     def warmup(self, num_keys: Optional[int] = None) -> int:
         """Pre-populate the cluster with the hottest Zipf keys.
@@ -246,27 +330,45 @@ class TrafficSimulator:
         report.ops_per_shard = {shard_id: 0 for shard_id in self.cluster.shard_ids}
         report.busy_ms_per_shard = {shard_id: 0.0 for shard_id in self.cluster.shard_ids}
 
+        issued = 0
+        next_event = 0
         while ready:
+            # Fire every schedule event due at this point in the request
+            # stream, before the next request is dispatched.
+            while next_event < len(self.schedule):
+                event = self.schedule[next_event]
+                if event.at_request > issued:
+                    break
+                next_event += 1
+                self._fire_event(event, report)
             client_time, client_id = heapq.heappop(ready)
-            batch = self.cluster.execute_batch(clients[client_id].next_batch())
-            latency = batch.makespan_ms
             client_report = reports[client_id]
-            client_report.requests += 1
-            client_report.operations += batch.operations
-            client_report.request_latencies_ms.append(latency)
-            client_report.finish_time_ms = client_time + latency
-            report.requests += 1
-            report.operations += batch.operations
-            report.dispatch_saved_ms += batch.dispatch_saved_ms
-            for shard_id, stats in batch.per_shard.items():
-                report.ops_per_shard[shard_id] = (
-                    report.ops_per_shard.get(shard_id, 0) + stats.operations
-                )
-                report.busy_ms_per_shard[shard_id] = (
-                    report.busy_ms_per_shard.get(shard_id, 0.0) + stats.busy_ms
-                )
-                report.lookups += stats.lookups
-                report.lookup_hits += stats.lookup_hits
+            issued += 1
+            try:
+                batch = self.cluster.execute_batch(clients[client_id].next_batch())
+            except ShardUnavailableError:
+                # An outage window with too few live replicas: the request
+                # times out; the client retires it and moves on.
+                report.failed_requests += 1
+                client_report.finish_time_ms = client_time + spec.failure_timeout_ms
+            else:
+                latency = batch.makespan_ms
+                client_report.requests += 1
+                client_report.operations += batch.operations
+                client_report.request_latencies_ms.append(latency)
+                client_report.finish_time_ms = client_time + latency
+                report.requests += 1
+                report.operations += batch.operations
+                report.dispatch_saved_ms += batch.dispatch_saved_ms
+                for shard_id, stats in batch.per_shard.items():
+                    report.ops_per_shard[shard_id] = (
+                        report.ops_per_shard.get(shard_id, 0) + stats.operations
+                    )
+                    report.busy_ms_per_shard[shard_id] = (
+                        report.busy_ms_per_shard.get(shard_id, 0.0) + stats.busy_ms
+                    )
+                    report.lookups += stats.lookups
+                    report.lookup_hits += stats.lookup_hits
             remaining[client_id] -= 1
             if remaining[client_id] > 0:
                 heapq.heappush(
@@ -274,10 +376,27 @@ class TrafficSimulator:
                     (client_report.finish_time_ms + spec.think_time_ms, client_id),
                 )
 
+        # Events scheduled at or beyond the final request count still fire
+        # (in order) at end of run — a trailing "recover" must not be lost
+        # just because the workload finished first.
+        while next_event < len(self.schedule):
+            self._fire_event(self.schedule[next_event], report)
+            next_event += 1
+
         report.clients = reports
         report.duration_ms = max((c.finish_time_ms for c in reports), default=0.0)
         report.hot_shards = self._detect_hot_shards(report)
         return report
+
+    def _fire_event(self, event: FailureEvent, report: TrafficReport) -> None:
+        """Apply one scheduled fault action and record it in the report."""
+        if event.action == "fail":
+            self.cluster.fail_shard(event.shard_id, mode=event.mode)
+        elif event.action == "heal":
+            self.cluster.heal_shard(event.shard_id)
+        else:  # "recover"
+            report.recovery_reports.append(self.recovery.recover())
+        report.fired_events.append((event.at_request, event.action, event.shard_id))
 
     def _detect_hot_shards(self, report: TrafficReport) -> List[str]:
         # run() pre-seeds ops_per_shard with every serving shard, so the mean

@@ -16,7 +16,7 @@ exactly as the paper's evaluation does.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, List, Optional
 
 from repro.flashsim.clock import SimulationClock
 from repro.wanopt.chunking import RabinChunker

@@ -10,7 +10,7 @@ all the comparative experiments.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Protocol
+from typing import Callable, Dict, Iterable, List, Optional, Protocol
 
 from repro.core.results import DeleteResult, InsertResult, LookupResult
 from repro.workloads.metrics import LatencySummary, summarize_latencies
@@ -152,13 +152,24 @@ class WorkloadRunner:
         operations: Iterable[Operation],
         keep_samples: bool = True,
         max_operations: Optional[int] = None,
+        before_operation: Optional[Callable[[int, Operation], None]] = None,
     ) -> RunReport:
-        """Execute ``operations`` in order and return a :class:`RunReport`."""
+        """Execute ``operations`` in order and return a :class:`RunReport`.
+
+        ``before_operation(index, operation)`` is invoked just before each
+        dispatch — the failure-schedule hook point: a harness can kill, heal
+        or recover a shard of a cluster-backed index at an exact operation
+        count (see ``benchmarks/bench_failover.py`` and
+        :class:`repro.service.simulator.FailureEvent` for the batched
+        counterpart).
+        """
         report = RunReport()
         start_ms = self.clock.now_ms if self.clock is not None else 0.0
         for index, operation in enumerate(operations):
             if max_operations is not None and index >= max_operations:
                 break
+            if before_operation is not None:
+                before_operation(index, operation)
             result = apply_operation(self.index, operation)
             _record(report, operation, result, keep_samples)
         if self.clock is not None:
@@ -171,6 +182,7 @@ class WorkloadRunner:
         batch_size: int = 64,
         keep_samples: bool = True,
         max_operations: Optional[int] = None,
+        before_batch: Optional[Callable[[int, List[Operation]], None]] = None,
     ) -> RunReport:
         """Execute ``operations`` in fixed-size batches via ``execute_batch``.
 
@@ -178,6 +190,10 @@ class WorkloadRunner:
         :class:`repro.service.cluster.ClusterService`).  Per-operation results
         are folded into the same :class:`RunReport` shape as :meth:`run`, so
         sequential and batched executions of one workload compare directly.
+
+        ``before_batch(batch_index, operations)`` fires just before each
+        batch is dispatched — the batched failure-schedule hook point
+        (mirror of :meth:`run`'s ``before_operation``).
         """
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
@@ -189,21 +205,36 @@ class WorkloadRunner:
         report = RunReport()
         start_ms = self.clock.now_ms if self.clock is not None else 0.0
         pending: List[Operation] = []
+        batch_index = 0
         for index, operation in enumerate(operations):
             if max_operations is not None and index >= max_operations:
                 break
             pending.append(operation)
             if len(pending) >= batch_size:
-                self._flush_batch(execute_batch, pending, report, keep_samples)
+                self._flush_batch(
+                    execute_batch, pending, report, keep_samples, before_batch, batch_index
+                )
+                batch_index += 1
                 pending = []
         if pending:
-            self._flush_batch(execute_batch, pending, report, keep_samples)
+            self._flush_batch(
+                execute_batch, pending, report, keep_samples, before_batch, batch_index
+            )
         if self.clock is not None:
             report.simulated_duration_ms = self.clock.now_ms - start_ms
         return report
 
     @staticmethod
-    def _flush_batch(execute_batch, pending: List[Operation], report: RunReport, keep_samples: bool) -> None:
+    def _flush_batch(
+        execute_batch,
+        pending: List[Operation],
+        report: RunReport,
+        keep_samples: bool,
+        before_batch: Optional[Callable[[int, List[Operation]], None]] = None,
+        batch_index: int = 0,
+    ) -> None:
+        if before_batch is not None:
+            before_batch(batch_index, pending)
         batch = execute_batch(pending)
         for operation, result in zip(pending, batch.results):
             _record(report, operation, result, keep_samples)

@@ -15,8 +15,8 @@ from __future__ import annotations
 import enum
 import random
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Iterator, List, Optional
+from dataclasses import dataclass
+from typing import Deque, List, Optional
 
 from repro.workloads.keygen import fingerprint_for
 

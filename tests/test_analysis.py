@@ -1,13 +1,11 @@
 """Tests for the §6 analytical cost model, tuning and cost-efficiency analysis."""
 
-import math
 
 import pytest
 
 from repro.analysis import (
     FLASH_CHIP_COSTS,
     INTEL_SSD_COSTS,
-    TRANSCEND_SSD_COSTS,
     PAPER_PRICING,
     amortized_insert_cost_ms,
     bloom_false_positive_probability,

@@ -1,6 +1,5 @@
 """Tests for the magnetic disk and DRAM device models."""
 
-import pytest
 
 from repro.flashsim import (
     DRAMDevice,

@@ -20,7 +20,6 @@ import pytest
 from repro.core import CLAM, CLAMConfig
 from repro.core.hashing import (
     SEED_LAYERS,
-    as_digest,
     clear_digest_cache,
     count_hash_calls,
 )

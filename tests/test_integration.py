@@ -1,6 +1,5 @@
 """End-to-end integration tests crossing several subsystems."""
 
-import pytest
 
 from repro.baselines import ExternalHashIndex
 from repro.core import CLAM, CLAMConfig

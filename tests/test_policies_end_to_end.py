@@ -1,6 +1,5 @@
 """End-to-end behaviour of eviction policies through the public CLAM API."""
 
-import pytest
 
 from repro.core import CLAM, CLAMConfig, LRUEviction, PriorityBasedEviction
 

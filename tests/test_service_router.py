@@ -156,3 +156,101 @@ class TestHandoffStats:
 
     def test_ring_space_constant(self):
         assert RING_SPACE == 1 << 64
+
+
+class TestPreferenceList:
+    """Replica placement: determinism, disjointness and the prefix-stable
+    chain property under membership changes, checked property-style over
+    seeded random ring states with RF in {1, 2, 3}."""
+
+    @staticmethod
+    def random_ring(rng, min_shards=4, max_shards=9):
+        names = [f"node-{i}" for i in range(rng.randint(min_shards, max_shards))]
+        rng.shuffle(names)
+        virtual_nodes = rng.choice([16, 32, 64])
+        return ShardRouter(names, virtual_nodes=virtual_nodes)
+
+    def test_first_entry_is_the_route_owner(self):
+        router = ShardRouter(["a", "b", "c", "d"])
+        for key in sample_keys(500):
+            assert router.preference_list(key, 3)[0] == router.route(key)
+
+    def test_deterministic_across_instances(self):
+        keys = sample_keys(200)
+        first = ShardRouter(["a", "b", "c", "d"])
+        second = ShardRouter(["d", "c", "b", "a"])
+        for key in keys:
+            assert first.preference_list(key, 3) == second.preference_list(key, 3)
+
+    def test_entries_are_distinct_and_clamped(self):
+        router = ShardRouter(["a", "b", "c"])
+        for key in sample_keys(300):
+            preference = router.preference_list(key, 3)
+            assert len(preference) == len(set(preference)) == 3
+            # Requests beyond the fleet size are clamped, never padded.
+            assert router.preference_list(key, 10) == preference
+        assert len(router.preference_list(b"k", 1)) == 1
+
+    def test_shorter_lists_are_prefixes_of_longer_ones(self):
+        router = ShardRouter(["a", "b", "c", "d", "e"])
+        for key in sample_keys(300):
+            full = router.preference_list(key, 5)
+            for n in range(1, 5):
+                assert router.preference_list(key, n) == full[:n]
+
+    def test_invalid_size_rejected(self):
+        router = ShardRouter(["a", "b"])
+        with pytest.raises(ConfigurationError):
+            router.preference_list(b"k", 0)
+
+    def test_property_random_rings_determinism_and_disjointness(self):
+        import random
+
+        for seed in range(12):
+            rng = random.Random(seed)
+            router = self.random_ring(rng)
+            twin = ShardRouter(sorted(router.shard_ids), virtual_nodes=router.virtual_nodes)
+            for rf in (1, 2, 3):
+                for key in sample_keys(100, namespace=b"prop-%d" % seed):
+                    preference = router.preference_list(key, rf)
+                    assert len(preference) == min(rf, len(router))
+                    assert len(set(preference)) == len(preference)
+                    assert preference == twin.preference_list(key, rf)
+
+    def test_property_remove_shard_shifts_the_chain_exactly(self):
+        """Removing a shard deletes it from every preference list and shifts
+        the next distinct ring successor in; all other entries keep their
+        positions (the exact-handoff property recovery relies on)."""
+        import random
+
+        for seed in range(12):
+            rng = random.Random(1000 + seed)
+            router = self.random_ring(rng, min_shards=5, max_shards=9)
+            keys = sample_keys(150, namespace=b"chain-%d" % seed)
+            for rf in (1, 2, 3):
+                before = {key: router.preference_list(key, rf + 1) for key in keys}
+                victim = rng.choice(sorted(router.shard_ids))
+                router.remove_shard(victim)
+                for key in keys:
+                    # The rf-list after removal is exactly the (rf+1)-list
+                    # before removal with the victim deleted, truncated: the
+                    # successor shifts in, nothing else moves.
+                    old = before[key]
+                    expected = tuple(s for s in old if s != victim)[:rf]
+                    assert router.preference_list(key, rf) == expected
+                router.add_shard(victim)  # restore for the next rf round
+
+    def test_remove_shard_handoff_arcs_match_new_owners(self):
+        """Every arc the victim lost is gained by a shard that now appears in
+        the preference lists of keys hashing into that arc."""
+        router = ShardRouter(["a", "b", "c", "d", "e"], virtual_nodes=64)
+        keys = sample_keys(2000, namespace=b"arcs")
+        owned_before = [key for key in keys if router.route(key) == "c"]
+        handoff = router.remove_shard("c")
+        assert set(handoff.lost_fraction) == {"c"}
+        gainers = set(handoff.gained_fraction)
+        new_owners = {router.route(key) for key in owned_before}
+        assert new_owners <= gainers
+        assert sum(handoff.gained_fraction.values()) == pytest.approx(
+            handoff.moved_fraction
+        )

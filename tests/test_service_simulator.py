@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import CLAMConfig
-from repro.service import ClusterService, TrafficReport, TrafficSimulator, TrafficSpec
+from repro.service import ClusterService, TrafficSimulator, TrafficSpec
 
 
 def make_cluster(num_shards=4):
@@ -134,3 +134,110 @@ class TestHotShardDetection:
         report = TrafficSimulator(make_cluster(num_shards=4), small_spec()).run()
         assert set(report.ops_per_shard) == set(report.busy_ms_per_shard)
         assert len(report.ops_per_shard) == 4
+
+
+class TestFailureSchedule:
+    def replicated_cluster(self):
+        config = CLAMConfig.scaled(
+            num_super_tables=4, buffer_capacity_items=32, incarnations_per_table=4
+        )
+        return ClusterService(num_shards=4, config=config, replication_factor=2)
+
+    def test_event_validation(self):
+        from repro.core.errors import ConfigurationError
+        from repro.service import FailureEvent
+
+        with pytest.raises(ConfigurationError):
+            FailureEvent(at_request=-1, action="fail", shard_id="shard-0")
+        with pytest.raises(ConfigurationError):
+            FailureEvent(at_request=0, action="explode", shard_id="shard-0")
+        with pytest.raises(ConfigurationError):
+            FailureEvent(at_request=0, action="fail")  # no shard
+        FailureEvent(at_request=0, action="recover")  # recover needs no shard
+
+    def test_scheduled_kill_and_recovery_loses_nothing_with_rf2(self):
+        from repro.service import FailureEvent
+        from repro.workloads import fingerprint_for
+
+        cluster = self.replicated_cluster()
+        simulator = TrafficSimulator(
+            cluster,
+            small_spec(requests_per_client=20),
+            schedule=[
+                FailureEvent(at_request=15, action="fail", shard_id="shard-2"),
+                FailureEvent(at_request=40, action="recover"),
+            ],
+        )
+        warmed = simulator.warmup(300)
+        report = simulator.run()
+        assert [event[1] for event in report.fired_events] == ["fail", "recover"]
+        assert len(report.recovery_reports) == 1
+        recovery = report.recovery_reports[0]
+        assert recovery.keys_lost == 0
+        assert "shard-2" not in cluster.shards
+        # Every warmed key survived the mid-run shard death.
+        for identifier in range(warmed):
+            assert cluster.lookup(fingerprint_for(identifier)).found
+        # RF=2 masks the outage completely.
+        assert report.availability == 1.0
+        assert report.failed_requests == 0
+
+    def test_scheduled_runs_are_deterministic(self):
+        from repro.service import FailureEvent
+
+        def run_once():
+            cluster = self.replicated_cluster()
+            simulator = TrafficSimulator(
+                cluster,
+                small_spec(requests_per_client=20),
+                schedule=[
+                    FailureEvent(at_request=10, action="fail", shard_id="shard-1"),
+                    FailureEvent(at_request=30, action="recover"),
+                ],
+            )
+            simulator.warmup(200)
+            report = simulator.run()
+            return (
+                report.operations,
+                report.requests,
+                round(report.duration_ms, 6),
+                report.fired_events,
+                report.recovery_reports[0].keys_re_replicated,
+            )
+
+        assert run_once() == run_once()
+
+    def test_unreplicated_outage_costs_availability(self):
+        from repro.service import FailureEvent
+
+        cluster = make_cluster()
+        simulator = TrafficSimulator(
+            cluster,
+            small_spec(requests_per_client=20),
+            schedule=[FailureEvent(at_request=10, action="fail", shard_id="shard-0")],
+        )
+        simulator.warmup(200)
+        report = simulator.run()
+        assert report.failed_requests > 0
+        assert report.availability < 1.0
+        total = report.requests + report.failed_requests
+        assert total == 4 * 20
+
+    def test_events_beyond_the_request_count_fire_at_end_of_run(self):
+        from repro.service import FailureEvent
+
+        cluster = self.replicated_cluster()
+        total = 4 * 15  # num_clients * requests_per_client of small_spec()
+        simulator = TrafficSimulator(
+            cluster,
+            small_spec(),
+            schedule=[
+                FailureEvent(at_request=total - 5, action="fail", shard_id="shard-0"),
+                FailureEvent(at_request=total + 100, action="recover"),
+            ],
+        )
+        simulator.warmup(200)
+        report = simulator.run()
+        assert [event[1] for event in report.fired_events] == ["fail", "recover"]
+        assert len(report.recovery_reports) == 1
+        assert "shard-0" not in cluster.shards  # the late recover still ran

@@ -1,6 +1,5 @@
 """Tests for a single super table (buffer + incarnations + Bloom filters)."""
 
-import pytest
 
 from repro.core import (
     LRUEviction,
