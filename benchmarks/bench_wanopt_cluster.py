@@ -1,0 +1,271 @@
+"""Multi-branch WAN optimization over the replicated cluster (branches × shards × RF).
+
+The paper's §8 WAN optimizer is a single box with a private CLAM.  The
+multi-branch deployment (:mod:`repro.wanopt.topology`) runs N branch offices
+against **one** data-center fingerprint index — a sharded, replicated
+:class:`~repro.service.cluster.ClusterService` reached with one batched
+round trip per object — so branches deduplicate against each other's
+uploads.  This benchmark sweeps branches × shards × replication factor and
+enforces the contracts that make the composition trustworthy:
+
+* **parity** — with 1 branch, 1 shard and RF=1 the cluster-backed optimizer's
+  aggregate bandwidth-improvement factor is within 10 % of the classic
+  single-CLAM path on the same trace (the service layer costs almost
+  nothing when it degenerates);
+* **cross-branch dedup** — branches sharing one index beat the same branches
+  running private indexes, and the cross-branch hit rate is strictly
+  positive (a single branch's is zero by definition);
+* **failure drill** — a shard crash-stopped mid-transfer at RF=2 is failed
+  over with availability 1.0, every object reconstructs byte-exactly on the
+  far side (zero lost chunks) and the scheduled recovery pass re-replicates
+  with zero lost keys.
+
+Headline numbers land in ``BENCH_wanopt_cluster.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from benchmarks.common import print_table, standard_config, write_bench_json
+from repro.core import CLAM
+from repro.flashsim import SSD, SimulationClock
+from repro.service import FailureEvent
+from repro.wanopt import (
+    BranchTraceGenerator,
+    CompressionEngine,
+    Link,
+    MultiBranchThroughputTest,
+    MultiBranchTopology,
+    WANOptimizer,
+)
+
+LINK_MBPS = 100.0
+
+#: (num_branches, num_shards, replication_factor) sweep points.
+SWEEP = [
+    (1, 1, 1),
+    (1, 4, 2),
+    (2, 1, 1),
+    (2, 4, 2),
+    (4, 2, 1),
+    (4, 4, 2),
+]
+
+TRACE = dict(
+    objects_per_branch=16,
+    mean_object_size=192 * 1024,
+    mean_chunk_size=8 * 1024,
+    shared_fraction=0.3,
+    local_redundancy=0.2,
+    shared_pool_size=400,
+    seed=41,
+)
+
+FAIL_AT_OBJECT = 8
+RECOVER_AT_OBJECT = 20
+DRILL = dict(num_branches=2, num_shards=4, replication_factor=2)
+
+
+def streams_for(num_branches: int):
+    return BranchTraceGenerator(num_branches=num_branches, **TRACE).generate()
+
+
+def run_topology(num_branches: int, num_shards: int, replication_factor: int, schedule=()):
+    topology = MultiBranchTopology(
+        num_branches=num_branches,
+        link_mbps=LINK_MBPS,
+        num_shards=num_shards,
+        replication_factor=replication_factor,
+        config=standard_config(),
+        with_content_cache=False,
+    )
+    result = MultiBranchThroughputTest(topology).run(streams_for(num_branches), schedule=schedule)
+    return topology, result
+
+
+def outcome_for(num_branches: int, num_shards: int, replication_factor: int):
+    _, result = run_topology(num_branches, num_shards, replication_factor)
+    return {
+        "branches": num_branches,
+        "shards": num_shards,
+        "replication_factor": replication_factor,
+        "objects": result.objects_total,
+        "aggregate_bandwidth_improvement": result.aggregate_bandwidth_improvement,
+        "dedup_hit_rate": result.dedup_hit_rate,
+        "cross_branch_hit_rate": result.cross_branch_hit_rate,
+        "availability": result.availability,
+        "objects_reconstructed_exactly": result.objects_reconstructed_exactly,
+        "chunks_lost": result.chunks_lost,
+        "per_branch_improvement": [
+            branch.effective_bandwidth_improvement for branch in result.branches
+        ],
+    }
+
+
+def classic_single_clam_improvement():
+    """The pre-existing single-box Scenario 1 on the 1-branch trace."""
+    objects = streams_for(1)[0]
+    clock = SimulationClock()
+    clam = CLAM(standard_config(), storage=SSD(clock=clock))
+    optimizer = WANOptimizer(
+        engine=CompressionEngine(index=clam),
+        link=Link(bandwidth_mbps=LINK_MBPS, clock=clock),
+        clock=clock,
+    )
+    return optimizer.run_throughput_test(objects).effective_bandwidth_improvement
+
+
+def private_index_hit_rate(num_branches: int) -> float:
+    """The same branch streams, each branch on its own single-CLAM index."""
+    matched = 0
+    total = 0
+    for stream in streams_for(num_branches):
+        engine = CompressionEngine(
+            index=CLAM(standard_config(), storage=SSD(clock=SimulationClock()))
+        )
+        for obj in stream:
+            result = engine.process_object_batched(obj)
+            matched += result.chunks_matched
+            total += result.chunks_total
+    return matched / total if total else 0.0
+
+
+def failure_drill():
+    """Kill a shard mid-transfer at RF=2, then run a scheduled recovery."""
+    topology, result = run_topology(
+        DRILL["num_branches"],
+        DRILL["num_shards"],
+        DRILL["replication_factor"],
+        schedule=[
+            FailureEvent(at_request=FAIL_AT_OBJECT, action="fail", shard_id="shard-1"),
+            FailureEvent(at_request=RECOVER_AT_OBJECT, action="recover"),
+        ],
+    )
+    recovery = result.recovery_reports[0] if result.recovery_reports else None
+    return {
+        **DRILL,
+        "fail_at_object": FAIL_AT_OBJECT,
+        "recover_at_object": RECOVER_AT_OBJECT,
+        "availability": result.availability,
+        "objects_total": result.objects_total,
+        "objects_pass_through": result.objects_pass_through,
+        "objects_reconstructed_exactly": result.objects_reconstructed_exactly,
+        "chunks_lost": result.chunks_lost,
+        "recovery_keys_lost": recovery.keys_lost if recovery else -1,
+        "recovery_keys_re_replicated": recovery.keys_re_replicated if recovery else 0,
+        "post_recovery_live_shards": list(topology.cluster.live_shard_ids),
+    }
+
+
+def check_invariants(payload) -> None:
+    """The contracts this benchmark exists to enforce."""
+    parity = payload["parity"]
+    assert abs(parity["ratio"] - 1.0) <= 0.10, parity
+
+    dedup = payload["shared_vs_private"]
+    assert dedup["shared_hit_rate"] > dedup["private_hit_rate"], dedup
+    multi = next(o for o in payload["sweep"] if o["branches"] > 1)
+    single = next(o for o in payload["sweep"] if o["branches"] == 1)
+    assert multi["cross_branch_hit_rate"] > single["cross_branch_hit_rate"], (multi, single)
+    assert single["cross_branch_hit_rate"] == 0.0, single
+
+    drill = payload["failure_drill"]
+    assert drill["availability"] == 1.0, drill
+    assert drill["objects_reconstructed_exactly"] == drill["objects_total"], drill
+    assert drill["chunks_lost"] == 0, drill
+    assert drill["recovery_keys_lost"] == 0, drill
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller sweep for CI smoke runs"
+    )
+    args = parser.parse_args()
+    global SWEEP, TRACE, FAIL_AT_OBJECT, RECOVER_AT_OBJECT, DRILL
+    if args.quick:
+        SWEEP = [(1, 1, 1), (2, 2, 1), (2, 3, 2)]
+        TRACE = dict(TRACE, objects_per_branch=8, mean_object_size=128 * 1024)
+        FAIL_AT_OBJECT, RECOVER_AT_OBJECT = 5, 12
+        DRILL = dict(num_branches=2, num_shards=3, replication_factor=2)
+
+    sweep = [outcome_for(*point) for point in SWEEP]
+    classic = classic_single_clam_improvement()
+    degenerate = next(
+        o for o in sweep if (o["branches"], o["shards"], o["replication_factor"]) == (1, 1, 1)
+    )
+    parity = {
+        "classic_single_clam": classic,
+        "cluster_one_shard": degenerate["aggregate_bandwidth_improvement"],
+        "ratio": degenerate["aggregate_bandwidth_improvement"] / classic,
+    }
+    shared_branches = max(point[0] for point in SWEEP)
+    shared = next(o for o in sweep if o["branches"] == shared_branches)
+    dedup = {
+        "branches": shared_branches,
+        "private_hit_rate": private_index_hit_rate(shared_branches),
+        "shared_hit_rate": shared["dedup_hit_rate"],
+    }
+    drill = failure_drill()
+
+    print_table(
+        "Multi-branch WAN optimization: branches x shards x RF "
+        f"(link {LINK_MBPS:.0f} Mbps)",
+        [
+            "branches",
+            "shards",
+            "RF",
+            "agg improvement",
+            "dedup hit rate",
+            "cross-branch rate",
+            "availability",
+        ],
+        [
+            (
+                o["branches"],
+                o["shards"],
+                o["replication_factor"],
+                o["aggregate_bandwidth_improvement"],
+                o["dedup_hit_rate"],
+                o["cross_branch_hit_rate"],
+                o["availability"],
+            )
+            for o in sweep
+        ],
+    )
+    print(
+        "parity (1 branch, 1 shard, RF=1 vs classic single CLAM): "
+        f"{parity['cluster_one_shard']:.3f} vs {parity['classic_single_clam']:.3f} "
+        f"(ratio {parity['ratio']:.3f})"
+    )
+    print(
+        f"dedup with {shared_branches} branches: shared index {dedup['shared_hit_rate']:.3f} "
+        f"vs private indexes {dedup['private_hit_rate']:.3f}"
+    )
+    print(
+        "failure drill (RF=2, kill shard-1 mid-transfer): "
+        f"availability {drill['availability']:.3f}, "
+        f"{drill['objects_reconstructed_exactly']}/{drill['objects_total']} objects byte-exact, "
+        f"{drill['chunks_lost']} chunks lost, "
+        f"{drill['recovery_keys_re_replicated']} keys re-replicated"
+    )
+
+    payload = {
+        "spec": {
+            "link_mbps": LINK_MBPS,
+            "trace": {key: value for key, value in TRACE.items()},
+            "sweep": [list(point) for point in SWEEP],
+        },
+        "sweep": sweep,
+        "parity": parity,
+        "shared_vs_private": dedup,
+        "failure_drill": drill,
+    }
+    check_invariants(payload)
+    path = write_bench_json("wanopt_cluster", payload)
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -15,12 +15,12 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-bufferhash",
-    version="1.2.0",
+    version="1.3.0",
     description=(
         "Reproduction of 'Cheap and Large CAMs for High Performance "
         "Data-Intensive Networked Systems' (BufferHash/CLAM, NSDI 2010) "
-        "with a sharded, replicated, failure-tolerant service layer and "
-        "traffic simulator"
+        "with a sharded, replicated, failure-tolerant service layer, a "
+        "multi-branch WAN-optimizer deployment and traffic simulator"
     ),
     long_description=__doc__,
     package_dir={"": "src"},
@@ -28,7 +28,7 @@ setup(
     python_requires=">=3.10",  # int.bit_count in the Bloom filter hot path
     install_requires=[],
     extras_require={
-        "dev": ["pytest", "pytest-benchmark"],
+        "dev": ["pytest", "pytest-benchmark", "hypothesis"],
     },
     classifiers=[
         "Programming Language :: Python :: 3",

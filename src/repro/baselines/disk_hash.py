@@ -17,7 +17,7 @@ repeated accesses to the same bucket, as BDB's default cache does.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.hashing import KeyLike, hash_key, to_key_bytes
 from repro.core.results import (
@@ -213,6 +213,18 @@ class ExternalHashIndex:
 
     def __contains__(self, key: KeyLike) -> bool:
         return self.lookup(key).found
+
+    def lookup_batch(self, keys: Iterable[KeyLike]) -> List[LookupResult]:
+        """Loop fallback for the batched half of ``FingerprintIndex``.
+
+        BDB has no shards to fan a batch out to, so batched operations run
+        sequentially against the one device; results match sequential calls.
+        """
+        return [self.lookup(key) for key in keys]
+
+    def insert_batch(self, items: Iterable[Tuple[KeyLike, bytes]]) -> List[InsertResult]:
+        """Insert every ``(key, value)`` pair in order; results in order."""
+        return [self.insert(key, value) for key, value in items]
 
     def items(self) -> Dict[bytes, bytes]:
         """All stored items (offline helper for merge experiments)."""

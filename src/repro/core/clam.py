@@ -15,7 +15,7 @@ behaviour the paper compares against.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.core.bloom import BloomFilter
 from repro.core.bufferhash import BufferHash
@@ -220,6 +220,21 @@ class CLAM:
 
     def __contains__(self, key: KeyLike) -> bool:
         return self.lookup(key).found
+
+    # -- Batched API ----------------------------------------------------------------------
+    #
+    # Loop fallbacks satisfying the batch half of
+    # :class:`repro.wanopt.engine.FingerprintIndex`: a single CLAM has no
+    # shards to fan out to, so a batch is simply the operations in order on
+    # the one device (results are exactly what sequential calls produce).
+
+    def lookup_batch(self, keys: Iterable[KeyLike]) -> List[LookupResult]:
+        """Look up every key in order; results in submission order."""
+        return [self.lookup(key) for key in keys]
+
+    def insert_batch(self, items: Iterable[Tuple[KeyLike, bytes]]) -> List[InsertResult]:
+        """Insert every ``(key, value)`` pair in order; results in order."""
+        return [self.insert(key, value) for key, value in items]
 
     # -- Unbuffered (ablation) mode -------------------------------------------------------
     #

@@ -11,7 +11,14 @@ the slowest shard finishes — shards run in parallel on independent clocks.
 
 The executor works against any mapping of shard id to an object satisfying
 :class:`repro.workloads.runner.HashIndex`; in practice that is the
-:class:`~repro.service.cluster.ClusterService`'s fleet of CLAMs.
+:class:`~repro.service.cluster.ClusterService`'s fleet of CLAMs.  The
+multi-branch WAN optimizer is the canonical client: each branch office's
+compression engine sends one ``lookup_batch`` and one ``insert_batch`` round
+trip per object (:meth:`ClusterService.lookup_batch` builds the operation
+lists), so a whole object's fingerprints cost one dispatch per touched shard
+rather than one per chunk, and the branch's wait is the
+:attr:`BatchResult.makespan_ms` across parallel shards rather than the
+serial sum.
 
 Two operating modes
 -------------------

@@ -50,7 +50,12 @@ from repro.service.batch import (
     BatchResult,
 )
 from repro.service.router import HandoffStats, ShardRouter
-from repro.workloads.workload import Operation, OpKind
+from repro.workloads.workload import (
+    Operation,
+    OpKind,
+    insert_operations,
+    lookup_operations,
+)
 
 
 def imbalance_factor(loads: Iterable[float]) -> float:
@@ -228,6 +233,12 @@ class ClusterService:
         self.recoveries = 0
         #: Most recent :class:`~repro.service.recovery.RecoveryReport`.
         self.last_recovery = None
+        #: Most recent :class:`~repro.service.batch.BatchResult` produced by
+        #: :meth:`execute_batch` (and therefore by :meth:`lookup_batch` /
+        #: :meth:`insert_batch`).  Lets callers that only see per-operation
+        #: result lists — e.g. the WAN optimizer's batched compression
+        #: engine — recover the round trip's makespan across parallel shards.
+        self.last_batch: Optional[BatchResult] = None
         for name in names:
             self._build_shard(name)
         self.router = ShardRouter(names, virtual_nodes=virtual_nodes)
@@ -533,7 +544,24 @@ class ClusterService:
             self._track_batch(submitted, getattr(error, "partial_results", None))
             raise
         self._track_batch(submitted, batch.results)
+        self.last_batch = batch
         return batch
+
+    def lookup_batch(self, keys: Iterable[KeyLike]) -> List[LookupResult]:
+        """Look every key up in one batch fanned out across the shards.
+
+        The batched half of :class:`repro.wanopt.engine.FingerprintIndex`:
+        operations are grouped into per-shard sub-batches by the
+        :class:`~repro.service.batch.BatchExecutor` (one dispatch per shard,
+        replica failover included) and the per-key results come back in
+        submission order.  The underlying :class:`BatchResult` — including
+        the parallel-shard makespan — is left in :attr:`last_batch`.
+        """
+        return list(self.execute_batch(lookup_operations(keys)).results)
+
+    def insert_batch(self, items: Iterable[Tuple[KeyLike, bytes]]) -> List[InsertResult]:
+        """Insert every ``(key, value)`` pair in one fanned-out batch."""
+        return list(self.execute_batch(insert_operations(items)).results)
 
     def _track_batch(self, submitted: List[Operation], results: Optional[List[object]]) -> None:
         """Fold a batch's applied writes into the key catalog."""

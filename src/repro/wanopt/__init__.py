@@ -20,16 +20,30 @@ from repro.wanopt.connection import ConnectionManager
 from repro.wanopt.fingerprint import Chunk, fingerprint_bytes, chunk_from_bytes
 from repro.wanopt.cache import ContentCache
 from repro.wanopt.network import Link, TransmissionResult
-from repro.wanopt.engine import CompressionEngine, ObjectCompressionResult
+from repro.wanopt.engine import (
+    CompressionEngine,
+    FingerprintIndex,
+    ObjectCompressionResult,
+)
+from repro.wanopt.topology import (
+    BranchObjectOutcome,
+    BranchOffice,
+    DedupReceiver,
+    MultiBranchTopology,
+)
 from repro.wanopt.optimizer import (
     WANOptimizer,
     ThroughputTestResult,
     HighLoadResult,
     ObjectTimeline,
+    BranchThroughputResult,
+    MultiBranchThroughputResult,
+    MultiBranchThroughputTest,
 )
 from repro.wanopt.traces import (
     TraceObject,
     SyntheticTraceGenerator,
+    BranchTraceGenerator,
     build_payload_objects,
 )
 
@@ -44,12 +58,21 @@ __all__ = [
     "Link",
     "TransmissionResult",
     "CompressionEngine",
+    "FingerprintIndex",
     "ObjectCompressionResult",
     "WANOptimizer",
     "ThroughputTestResult",
     "HighLoadResult",
     "ObjectTimeline",
+    "BranchOffice",
+    "BranchObjectOutcome",
+    "DedupReceiver",
+    "MultiBranchTopology",
+    "BranchThroughputResult",
+    "MultiBranchThroughputResult",
+    "MultiBranchThroughputTest",
     "TraceObject",
     "SyntheticTraceGenerator",
+    "BranchTraceGenerator",
     "build_payload_objects",
 ]

@@ -58,6 +58,11 @@ class ConnectionManager:
     chunking_cost_ms_per_kb:
         Simulated CPU cost of fingerprinting, charged per KB of object data
         when the object is emitted.
+    object_id_start:
+        First object id this manager assigns.  A multi-branch deployment
+        runs one connection manager per branch office; giving each branch a
+        disjoint id range (e.g. ``branch_index * 1_000_000``) keeps object
+        ids globally unique across the fleet's aggregated reports.
     """
 
     def __init__(
@@ -67,18 +72,21 @@ class ConnectionManager:
         chunker: Optional[RabinChunker] = None,
         max_object_bytes: int = 1 << 20,
         chunking_cost_ms_per_kb: float = 0.01,
+        object_id_start: int = 0,
     ) -> None:
         if window_ms <= 0:
             raise ValueError("window_ms must be positive")
         if max_object_bytes <= 0:
             raise ValueError("max_object_bytes must be positive")
+        if object_id_start < 0:
+            raise ValueError("object_id_start must be non-negative")
         self.clock = clock
         self.window_ms = window_ms
         self.chunker = chunker if chunker is not None else RabinChunker(average_size=4096)
         self.max_object_bytes = max_object_bytes
         self.chunking_cost_ms_per_kb = chunking_cost_ms_per_kb
         self._buffers: Dict[Hashable, _ConnectionBuffer] = {}
-        self._next_object_id = 0
+        self._next_object_id = object_id_start
         self.objects_emitted = 0
         self.bytes_received = 0
 

@@ -12,26 +12,49 @@ For each arriving object the engine:
 The engine reports, per object, the original and compressed sizes and how
 much simulated time was spent in index lookups, index inserts and cache
 writes — the quantities behind Figures 9 and 10.
+
+Two execution modes are offered.  :meth:`CompressionEngine.process_object`
+issues one index operation per chunk, matching the paper's single-box CE.
+:meth:`CompressionEngine.process_object_batched` instead makes **one lookup
+round trip for the whole object and one insert round trip for its new
+chunks**, the traffic pattern of the multi-branch deployment
+(:mod:`repro.wanopt.topology`) where the fingerprint index is a remote,
+sharded :class:`~repro.service.cluster.ClusterService`; both modes produce
+identical compression decisions (compressed bytes, matched chunks).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Protocol
+from typing import List, Optional, Protocol, Sequence, Tuple, runtime_checkable
 
 from repro.core.results import InsertResult, LookupResult
 from repro.wanopt.cache import ContentCache
 from repro.wanopt.traces import TraceObject
 
 
+@runtime_checkable
 class FingerprintIndex(Protocol):
-    """Anything usable as the CE's fingerprint hash table."""
+    """Anything usable as the CE's fingerprint hash table.
 
-    def lookup(self, key) -> LookupResult:  # pragma: no cover - protocol
-        ...
+    Implementations must offer single-operation ``lookup``/``insert`` plus
+    the batched counterparts ``lookup_batch``/``insert_batch`` the
+    per-object round-trip path uses.  :class:`repro.core.clam.CLAM` and the
+    BDB-style :class:`repro.baselines.disk_hash.ExternalHashIndex` implement
+    the batch as a local loop; :class:`repro.service.cluster.ClusterService`
+    fans it out across shard sub-batches through its
+    :class:`~repro.service.batch.BatchExecutor`.  The protocol is
+    ``runtime_checkable`` and every implementation is held to it by
+    ``tests/test_fingerprint_index_conformance.py``.
+    """
 
-    def insert(self, key, value) -> InsertResult:  # pragma: no cover - protocol
-        ...
+    def lookup(self, key) -> LookupResult: ...
+
+    def insert(self, key, value) -> InsertResult: ...
+
+    def lookup_batch(self, keys: Sequence) -> List[LookupResult]: ...
+
+    def insert_batch(self, items: Sequence) -> List[InsertResult]: ...
 
 
 @dataclass
@@ -47,6 +70,10 @@ class ObjectCompressionResult:
     insert_time_ms: float = 0.0
     cache_write_time_ms: float = 0.0
     fingerprint_time_ms: float = 0.0
+    #: Per-chunk outcome, in chunk order (True = replaced by a reference).
+    #: The multi-branch topology uses this to attribute cross-branch hits and
+    #: to verify the far side can reconstruct every referenced chunk.
+    matched_flags: Tuple[bool, ...] = ()
 
     @property
     def processing_time_ms(self) -> float:
@@ -98,7 +125,7 @@ class CompressionEngine:
     results: List[ObjectCompressionResult] = field(default_factory=list)
 
     def process_object(self, obj: TraceObject) -> ObjectCompressionResult:
-        """Compress one object and update the index/cache."""
+        """Compress one object and update the index/cache (one op per chunk)."""
         result = ObjectCompressionResult(
             object_id=obj.object_id,
             original_bytes=obj.size_bytes,
@@ -106,10 +133,14 @@ class CompressionEngine:
             chunks_total=obj.num_chunks,
             chunks_matched=0,
         )
-        clock = getattr(self.index, "clock", None)
+        # A ClockEnsemble (cluster index) satisfies now_ms but is read-only;
+        # CPU time then has nowhere sensible to go and is accounted only in
+        # the result record (the batched path lets callers pass a clock).
+        advance = getattr(getattr(self.index, "clock", None), "advance", None)
+        matched_flags: List[bool] = []
         for chunk in obj.chunks:
-            if clock is not None and self.fingerprint_cost_ms:
-                clock.advance(self.fingerprint_cost_ms)
+            if advance is not None and self.fingerprint_cost_ms:
+                advance(self.fingerprint_cost_ms)
             result.fingerprint_time_ms += self.fingerprint_cost_ms
 
             lookup = self.index.lookup(chunk.fingerprint)
@@ -117,8 +148,10 @@ class CompressionEngine:
             if lookup.found:
                 result.chunks_matched += 1
                 result.compressed_bytes += min(self.reference_size, chunk.size)
+                matched_flags.append(True)
                 continue
 
+            matched_flags.append(False)
             result.compressed_bytes += chunk.size
             cache_address = 0
             if self.content_cache is not None:
@@ -130,8 +163,111 @@ class CompressionEngine:
                 chunk.fingerprint, cache_address.to_bytes(8, "big")
             )
             result.insert_time_ms += insert.latency_ms
+        result.matched_flags = tuple(matched_flags)
         self.results.append(result)
         return result
+
+    def process_object_batched(self, obj: TraceObject, clock=None) -> ObjectCompressionResult:
+        """Compress one object with one lookup and one insert round trip.
+
+        Every distinct chunk fingerprint of the object is looked up in a
+        single :meth:`FingerprintIndex.lookup_batch` call, and the new
+        chunks' fingerprints are installed with a single
+        :meth:`FingerprintIndex.insert_batch` call — the per-object
+        round-trip model of a branch office talking to a remote data-center
+        index.  Compression decisions are identical to
+        :meth:`process_object`: a chunk repeated *within* the object matches
+        from its second occurrence on, exactly as the sequential path's
+        insert-then-lookup interleaving produces.
+
+        ``clock`` is the caller's (branch-side) clock.  When it differs from
+        the clock a resource already advanced — a remote index on its own
+        clock(s), a data-center content cache — the elapsed time of each
+        round trip is charged to it, so the branch timeline reflects waiting
+        for the remote side.  When a resource shares ``clock`` (the classic
+        single-box setup) nothing is double-counted.
+        """
+        result = ObjectCompressionResult(
+            object_id=obj.object_id,
+            original_bytes=obj.size_bytes,
+            compressed_bytes=0,
+            chunks_total=obj.num_chunks,
+            chunks_matched=0,
+        )
+        index_clock = getattr(self.index, "clock", None)
+        tick = clock if clock is not None else index_clock
+        advance = getattr(tick, "advance", None)
+
+        fingerprint_ms = self.fingerprint_cost_ms * obj.num_chunks
+        result.fingerprint_time_ms = fingerprint_ms
+        if advance is not None and fingerprint_ms:
+            advance(fingerprint_ms)
+
+        # Round trip 1: look up each distinct fingerprint once.
+        unique: List[bytes] = []
+        seen: set = set()
+        for chunk in obj.chunks:
+            if chunk.fingerprint not in seen:
+                seen.add(chunk.fingerprint)
+                unique.append(chunk.fingerprint)
+        lookups = self.index.lookup_batch(unique)
+        result.lookup_time_ms = self._round_trip_ms(lookups)
+        if advance is not None and tick is not index_clock and result.lookup_time_ms:
+            advance(result.lookup_time_ms)
+        found = {fp: lookup.found for fp, lookup in zip(unique, lookups)}
+
+        # Local pass: decide reference vs literal, store literals in the cache.
+        inserted_here: set = set()
+        to_insert: List[Tuple[bytes, bytes]] = []
+        matched_flags: List[bool] = []
+        cache_clock = (
+            getattr(self.content_cache.device, "clock", None)
+            if self.content_cache is not None
+            else None
+        )
+        for chunk in obj.chunks:
+            if found[chunk.fingerprint] or chunk.fingerprint in inserted_here:
+                result.chunks_matched += 1
+                result.compressed_bytes += min(self.reference_size, chunk.size)
+                matched_flags.append(True)
+                continue
+            matched_flags.append(False)
+            result.compressed_bytes += chunk.size
+            cache_address = 0
+            if self.content_cache is not None:
+                cache_address, cache_latency = self.content_cache.store(
+                    chunk.fingerprint, chunk.size, chunk.payload
+                )
+                result.cache_write_time_ms += cache_latency
+                if advance is not None and tick is not cache_clock and cache_latency:
+                    advance(cache_latency)
+            inserted_here.add(chunk.fingerprint)
+            to_insert.append((chunk.fingerprint, cache_address.to_bytes(8, "big")))
+        result.matched_flags = tuple(matched_flags)
+
+        # Round trip 2: install the new fingerprints in one batch.
+        if to_insert:
+            inserts = self.index.insert_batch(to_insert)
+            result.insert_time_ms = self._round_trip_ms(inserts)
+            if advance is not None and tick is not index_clock and result.insert_time_ms:
+                advance(result.insert_time_ms)
+        self.results.append(result)
+        return result
+
+    def _round_trip_ms(self, results: List) -> float:
+        """Elapsed time of one batched round trip against the index.
+
+        A sharded index executes sub-batches on parallel shards, so its round
+        trip completes at the slowest shard's makespan — exposed through the
+        ``last_batch`` attribute :class:`~repro.service.cluster.ClusterService`
+        maintains.  A plain local index (loop fallback) is serial: the round
+        trip is the sum of per-operation latencies, which its own clock
+        already advanced by.
+        """
+        last_batch = getattr(self.index, "last_batch", None)
+        if last_batch is not None:
+            return last_batch.makespan_ms
+        return sum(r.latency_ms for r in results)
 
     # -- Aggregates -------------------------------------------------------------------
 

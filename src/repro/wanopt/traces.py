@@ -145,6 +145,114 @@ class SyntheticTraceGenerator:
         return redundant / total if total else 0.0
 
 
+@dataclass
+class BranchTraceGenerator:
+    """Per-branch object streams with shared cross-branch content.
+
+    Models N branch offices of one organisation: every branch's traffic
+    mixes (a) chunks drawn from a **shared corporate pool** — the same
+    documents, packages and images flowing through every site, which is what
+    makes a shared data-center fingerprint index win over per-branch ones —
+    with (b) chunks repeating that branch's own recent history and (c)
+    fresh, branch-unique content.
+
+    Parameters
+    ----------
+    num_branches / objects_per_branch:
+        Stream shape; object ids are globally unique across branches
+        (branch ``b``'s objects start at ``b * objects_per_branch``).
+    shared_fraction:
+        Probability a chunk is drawn from the shared pool (cross-branch
+        redundancy); 0 makes every branch's content disjoint.
+    local_redundancy:
+        Probability a chunk repeats one this branch has already seen
+        (intra-branch redundancy, as in :class:`SyntheticTraceGenerator`).
+    shared_pool_size:
+        Distinct chunks in the shared pool; smaller pools mean more
+        cross-branch matches.
+    seed:
+        Master seed; each branch derives an independent substream, and the
+        same (seed, pool id) always yields the same shared chunk, so two
+        branches drawing pool chunk 17 really do carry identical content.
+    """
+
+    num_branches: int = 4
+    objects_per_branch: int = 25
+    mean_object_size: int = 256 * 1024
+    mean_chunk_size: int = 8 * 1024
+    shared_fraction: float = 0.3
+    local_redundancy: float = 0.2
+    shared_pool_size: int = 2_000
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.num_branches <= 0 or self.objects_per_branch <= 0:
+            raise ValueError("num_branches and objects_per_branch must be positive")
+        if self.mean_object_size <= 0 or self.mean_chunk_size <= 0:
+            raise ValueError("sizes must be positive")
+        if not 0.0 <= self.shared_fraction <= 1.0:
+            raise ValueError("shared_fraction must be in [0, 1]")
+        if not 0.0 <= self.local_redundancy <= 1.0:
+            raise ValueError("local_redundancy must be in [0, 1]")
+        if self.shared_fraction + self.local_redundancy > 1.0:
+            raise ValueError("shared_fraction + local_redundancy must be at most 1")
+        if self.shared_pool_size <= 0:
+            raise ValueError("shared_pool_size must be positive")
+
+    def _pool_chunk(self, pool_id: int) -> Chunk:
+        """The shared pool's chunk ``pool_id`` — identical for every branch."""
+        fingerprint = fingerprint_bytes(
+            b"wanopt-shared-%d-%d" % (self.seed, pool_id)
+        )
+        # Size must be a pure function of the fingerprint so every branch
+        # sees the same (fingerprint, size) pair for one piece of content.
+        low = max(256, self.mean_chunk_size // 2)
+        span = max(1, self.mean_chunk_size * 2 - low)
+        size = low + int.from_bytes(fingerprint[:4], "big") % span
+        return Chunk(fingerprint=fingerprint, size=size)
+
+    def generate(self) -> List[List[TraceObject]]:
+        """One object stream per branch, ``generate()[b]`` for branch ``b``."""
+        streams: List[List[TraceObject]] = []
+        for branch in range(self.num_branches):
+            rng = random.Random(self.seed * 1_000_003 + branch)
+            local_chunks: List[Chunk] = []
+            next_local_id = 0
+            objects: List[TraceObject] = []
+            for index in range(self.objects_per_branch):
+                target = int(
+                    self.mean_object_size
+                    * (0.5 + rng.random())  # spread sizes around the mean
+                )
+                chunks: List[Chunk] = []
+                accumulated = 0
+                while accumulated < target:
+                    draw = rng.random()
+                    if draw < self.shared_fraction:
+                        chunk = self._pool_chunk(rng.randrange(self.shared_pool_size))
+                    elif draw < self.shared_fraction + self.local_redundancy and local_chunks:
+                        chunk = local_chunks[rng.randrange(len(local_chunks))]
+                    else:
+                        low = max(256, self.mean_chunk_size // 2)
+                        size = rng.randint(low, self.mean_chunk_size * 2)
+                        fingerprint = fingerprint_bytes(
+                            b"wanopt-branch-%d-%d-%d" % (self.seed, branch, next_local_id)
+                        )
+                        next_local_id += 1
+                        chunk = Chunk(fingerprint=fingerprint, size=size)
+                    local_chunks.append(chunk)
+                    chunks.append(chunk)
+                    accumulated += chunk.size
+                objects.append(
+                    TraceObject(
+                        object_id=branch * self.objects_per_branch + index,
+                        chunks=tuple(chunks),
+                    )
+                )
+            streams.append(objects)
+        return streams
+
+
 def build_payload_objects(
     num_objects: int = 4,
     object_size: int = 64 * 1024,

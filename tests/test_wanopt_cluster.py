@@ -1,0 +1,438 @@
+"""Multi-branch WAN optimization over the replicated cluster.
+
+Covers the contracts the new :mod:`repro.wanopt.topology` layer must hold:
+
+* **Equivalence** — compression decisions (compressed bytes, chunks matched,
+  per-object outcomes) are bit-identical whether the fingerprint index is a
+  single CLAM or a 1-shard RF=1 :class:`ClusterService`, and whether the
+  engine runs sequentially or with per-object batched round trips.
+* **Monotonicity** — sharing one cluster index across branches never lowers
+  any branch's dedup hit rate relative to private per-branch indexes.
+* **Fault tolerance** — a shard killed mid-stream at RF=2 is failed over
+  with availability 1.0 and byte-exact reconstruction of every object (the
+  ``bench_failover`` contract: nothing lost, nothing silently corrupted);
+  at RF=1 the optimizer degrades to pass-through, which costs compression
+  but never correctness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CLAM, CLAMConfig
+from repro.core.errors import ConfigurationError
+from repro.service import ClusterService, FailureEvent
+from repro.wanopt import (
+    BranchTraceGenerator,
+    CompressionEngine,
+    MultiBranchThroughputTest,
+    MultiBranchTopology,
+    SyntheticTraceGenerator,
+    WANOptimizer,
+    Link,
+    build_payload_objects,
+)
+from repro.flashsim import SSD, SimulationClock
+
+
+def small_config() -> CLAMConfig:
+    return CLAMConfig.scaled(num_super_tables=8, buffer_capacity_items=128)
+
+
+def compression_signature(result):
+    """The decision-relevant fields of one object's compression outcome."""
+    return (
+        result.object_id,
+        result.original_bytes,
+        result.compressed_bytes,
+        result.chunks_total,
+        result.chunks_matched,
+        result.matched_flags,
+    )
+
+
+class TestSingleClamClusterEquivalence:
+    def _trace(self):
+        return SyntheticTraceGenerator(
+            redundancy=0.5, num_objects=20, mean_object_size=96 * 1024, seed=29
+        ).generate()
+
+    def test_batched_results_bit_identical_across_index_kinds(self):
+        objects = self._trace()
+        clam_engine = CompressionEngine(
+            index=CLAM(small_config(), storage=SSD(clock=SimulationClock()))
+        )
+        cluster_engine = CompressionEngine(
+            index=ClusterService(num_shards=1, config=small_config(), replication_factor=1)
+        )
+        for obj in objects:
+            clam_result = clam_engine.process_object_batched(obj)
+            cluster_result = cluster_engine.process_object_batched(obj)
+            assert compression_signature(clam_result) == compression_signature(cluster_result)
+        assert clam_engine.total_compressed_bytes == cluster_engine.total_compressed_bytes
+
+    def test_sequential_and_batched_decisions_identical(self):
+        objects = self._trace()
+        sequential = CompressionEngine(
+            index=CLAM(small_config(), storage=SSD(clock=SimulationClock()))
+        )
+        batched = CompressionEngine(
+            index=CLAM(small_config(), storage=SSD(clock=SimulationClock()))
+        )
+        for obj in objects:
+            seq_result = sequential.process_object(obj)
+            bat_result = batched.process_object_batched(obj)
+            assert compression_signature(seq_result) == compression_signature(bat_result)
+
+    def test_cluster_sequential_matches_cluster_batched(self):
+        objects = self._trace()
+        sequential = CompressionEngine(
+            index=ClusterService(num_shards=1, config=small_config())
+        )
+        batched = CompressionEngine(
+            index=ClusterService(num_shards=1, config=small_config())
+        )
+        for obj in objects:
+            seq_result = sequential.process_object(obj)
+            bat_result = batched.process_object_batched(obj)
+            assert compression_signature(seq_result) == compression_signature(bat_result)
+
+
+class TestCrossBranchDedupMonotonicity:
+    def test_shared_index_never_lowers_any_branchs_hit_rate(self):
+        generator = BranchTraceGenerator(
+            num_branches=3,
+            objects_per_branch=8,
+            mean_object_size=96 * 1024,
+            shared_fraction=0.35,
+            local_redundancy=0.2,
+            shared_pool_size=150,
+            seed=17,
+        )
+        streams = generator.generate()
+
+        # Private world: every branch runs its own single-CLAM index.
+        private_matched = []
+        for stream in streams:
+            engine = CompressionEngine(
+                index=CLAM(small_config(), storage=SSD(clock=SimulationClock()))
+            )
+            for obj in stream:
+                engine.process_object_batched(obj)
+            private_matched.append(sum(r.chunks_matched for r in engine.results))
+
+        # Shared world: the same streams over one cluster index.
+        topology = MultiBranchTopology(
+            num_branches=3,
+            num_shards=2,
+            replication_factor=1,
+            config=small_config(),
+            with_content_cache=False,
+        )
+        result = MultiBranchThroughputTest(topology).run(streams)
+        shared_matched = [branch.chunks_matched for branch in result.branches]
+
+        for private, shared in zip(private_matched, shared_matched):
+            assert shared >= private
+        assert sum(shared_matched) > sum(private_matched)
+        assert result.cross_branch_matched > 0
+        assert result.dedup_hit_rate >= result.cross_branch_hit_rate
+
+    def test_cross_branch_hits_require_shared_content(self):
+        streams = BranchTraceGenerator(
+            num_branches=2,
+            objects_per_branch=5,
+            mean_object_size=64 * 1024,
+            shared_fraction=0.0,
+            local_redundancy=0.3,
+            seed=5,
+        ).generate()
+        topology = MultiBranchTopology(
+            num_branches=2, num_shards=2, replication_factor=1, config=small_config(),
+            with_content_cache=False,
+        )
+        result = MultiBranchThroughputTest(topology).run(streams)
+        assert result.cross_branch_matched == 0
+        assert result.chunks_matched > 0  # intra-branch dedup still works
+
+
+class TestFaultInjection:
+    def _run(self, replication_factor: int, schedule):
+        streams = BranchTraceGenerator(
+            num_branches=2,
+            objects_per_branch=10,
+            mean_object_size=96 * 1024,
+            shared_fraction=0.3,
+            local_redundancy=0.2,
+            shared_pool_size=200,
+            seed=23,
+        ).generate()
+        topology = MultiBranchTopology(
+            num_branches=2,
+            num_shards=3,
+            replication_factor=replication_factor,
+            config=small_config(),
+            with_content_cache=False,
+        )
+        result = MultiBranchThroughputTest(topology).run(streams, schedule=schedule)
+        return topology, result
+
+    def test_rf2_shard_kill_mid_stream_keeps_availability_and_bytes(self):
+        """The bench_failover contract, through the WAN optimizer path."""
+        topology, result = self._run(
+            replication_factor=2,
+            schedule=[
+                FailureEvent(at_request=6, action="fail", shard_id="shard-1"),
+                FailureEvent(at_request=14, action="recover"),
+            ],
+        )
+        # Every object was deduplicated (requests failed over, none degraded).
+        assert result.availability == 1.0
+        assert result.objects_pass_through == 0
+        # No silent chunk loss: every reference resolved on the far side.
+        assert result.chunks_lost == 0
+        assert result.reconstruction_exact
+        # The kill really happened and recovery really ran.
+        assert "shard-1" not in topology.cluster.shard_ids
+        assert len(result.recovery_reports) == 1
+        report = result.recovery_reports[0]
+        assert report.failed_shards == ("shard-1",)
+        assert report.keys_lost == 0
+        assert report.keys_re_replicated > 0
+
+    def test_rf1_shard_kill_degrades_to_pass_through_not_corruption(self):
+        topology, result = self._run(
+            replication_factor=1,
+            schedule=[FailureEvent(at_request=6, action="fail", shard_id="shard-1")],
+        )
+        # Objects whose fingerprints route to the dead shard degrade.
+        assert result.objects_pass_through > 0
+        assert result.availability < 1.0
+        # Pass-through always reconstructs: degraded, never corrupted.
+        assert result.chunks_lost == 0
+        assert result.reconstruction_exact
+        assert result.aggregate_bandwidth_improvement > 0
+
+    def test_heal_restores_compression(self):
+        topology, result = self._run(
+            replication_factor=1,
+            schedule=[
+                FailureEvent(at_request=4, action="fail", shard_id="shard-0"),
+                FailureEvent(at_request=8, action="heal", shard_id="shard-0"),
+            ],
+        )
+        assert result.objects_pass_through > 0
+        # After the heal the optimizer compresses again: the tail of the run
+        # cannot be all pass-through.
+        assert result.objects_compressed > 4
+        assert result.reconstruction_exact
+
+
+class _CrashBetweenRoundTrips:
+    """Index wrapper crash-stopping a shard between an object's two round trips.
+
+    Models the sharpest mid-object failure: the lookup round trip succeeds,
+    the shard dies, and the insert round trip fails *after* the surviving
+    shard's sub-batch applied — leaving fingerprints in the index whose
+    object degraded to pass-through.
+    """
+
+    def __init__(self, cluster, victim: str) -> None:
+        self.cluster = cluster
+        self.victim = victim
+        self.armed = False
+
+    def lookup(self, key):
+        return self.cluster.lookup(key)
+
+    def insert(self, key, value):
+        return self.cluster.insert(key, value)
+
+    def lookup_batch(self, keys):
+        results = self.cluster.lookup_batch(keys)
+        if self.armed:
+            self.cluster.fail_shard(self.victim)
+            self.armed = False
+        return results
+
+    def insert_batch(self, items):
+        return self.cluster.insert_batch(items)
+
+    @property
+    def last_batch(self):
+        return self.cluster.last_batch
+
+
+class TestMidObjectPartialInsertFailure:
+    def test_partial_insert_before_pass_through_cannot_dangle(self):
+        """A shard killed mid-object (between round trips) at RF=1 leaves the
+        surviving shard's inserts in the index while the object itself
+        degrades to pass-through; later matches against those fingerprints
+        must still resolve because the pass-through literals were harvested."""
+        from repro.wanopt.fingerprint import Chunk, fingerprint_bytes
+
+        cluster = ClusterService(num_shards=2, config=small_config(), replication_factor=1)
+        wrapper = _CrashBetweenRoundTrips(cluster, victim="shard-1")
+        topology = MultiBranchTopology(num_branches=1, index=wrapper)
+        branch = topology.branches[0]
+
+        def chunk_on(shard_id: str, salt: int) -> Chunk:
+            nonce = salt
+            while True:
+                fingerprint = fingerprint_bytes(b"dangle-%d" % nonce)
+                if cluster.shard_for(fingerprint) == shard_id:
+                    return Chunk(fingerprint=fingerprint, size=4096)
+                nonce += 997
+
+        survivor_chunk = chunk_on("shard-0", 1)
+        victim_chunk = chunk_on("shard-1", 2)
+
+        from repro.wanopt.traces import TraceObject
+
+        # Object 0: lookup round trip succeeds, then shard-1 crashes; the
+        # insert batch applies survivor_chunk on shard-0 and fails on the
+        # victim -> pass-through with fingerprints left behind.
+        wrapper.armed = True
+        first = topology.process_branch_object(
+            branch, TraceObject(object_id=0, chunks=(survivor_chunk, victim_chunk))
+        )
+        assert first.pass_through
+        assert cluster.lookup(survivor_chunk.fingerprint).found  # the partial insert
+
+        # Object 1 repeats the surviving chunk: it matches against the
+        # partially-applied insert and the reference must resolve.
+        second = topology.process_branch_object(
+            branch, TraceObject(object_id=1, chunks=(survivor_chunk,))
+        )
+        assert not second.pass_through
+        assert second.result.chunks_matched == 1
+        assert second.chunks_lost == 0
+        assert second.reconstructed_exactly
+        assert topology.receiver.chunks_lost == 0
+        # Attribution: the match is intra-branch (this branch uploaded the
+        # bytes in its pass-through), not a phantom cross-branch hit.
+        assert second.cross_branch_matched == 0
+
+
+class TestByteExactReconstruction:
+    def test_real_payload_objects_reassemble_byte_exactly(self):
+        objects = build_payload_objects(
+            num_objects=6, object_size=32 * 1024, redundancy=0.5, seed=31
+        )
+        streams = [objects[0::2], objects[1::2]]
+        topology = MultiBranchTopology(
+            num_branches=2,
+            num_shards=2,
+            replication_factor=2,
+            config=small_config(),
+        )
+        result = MultiBranchThroughputTest(topology).run(
+            streams,
+            schedule=[FailureEvent(at_request=3, action="fail", shard_id="shard-0")],
+        )
+        # Payload-bearing chunks force the receiver to diff actual bytes.
+        assert result.reconstruction_exact
+        assert result.chunks_lost == 0
+        assert result.availability == 1.0
+        assert topology.receiver.objects_checked == len(objects)
+
+
+class TestConnectionManagerFeeds:
+    def test_per_branch_connection_managers_with_disjoint_object_ids(self):
+        """Real byte streams through per-branch connection managers: each CM
+        gets a disjoint ``object_id_start`` range, the shared content dedups
+        across branches, and everything reassembles byte-exactly."""
+        import random
+
+        from repro.wanopt import ConnectionManager, RabinChunker
+
+        topology = MultiBranchTopology(
+            num_branches=2, num_shards=2, replication_factor=2, config=small_config()
+        )
+        rng = random.Random(3)
+        shared_prefix = rng.randbytes(24 * 1024)  # content every branch carries
+        streams = []
+        for branch_index, branch in enumerate(topology.branches):
+            manager = ConnectionManager(
+                branch.clock,
+                chunker=RabinChunker(average_size=1024),
+                object_id_start=branch_index * 1_000_000,
+            )
+            objects = []
+            for connection in range(3):
+                payload = shared_prefix + rng.randbytes(8 * 1024)
+                manager.receive((branch_index, connection), payload)
+                objects.extend(manager.flush((branch_index, connection)))
+            streams.append(objects)
+
+        result = MultiBranchThroughputTest(topology).run(streams)
+        object_ids = [obj.object_id for stream in streams for obj in stream]
+        assert len(set(object_ids)) == len(object_ids)
+        assert all(obj.object_id >= 1_000_000 for obj in streams[1])
+        assert all(obj.object_id < 1_000_000 for obj in streams[0])
+        # The shared prefix dedups across branches, byte-exactly.
+        assert result.cross_branch_matched > 0
+        assert result.reconstruction_exact
+        assert result.chunks_lost == 0
+
+
+class TestTopologyHarness:
+    def test_single_branch_single_shard_matches_classic_optimizer(self):
+        """Aggregate improvement degenerates to the single-box Scenario 1."""
+        objects = SyntheticTraceGenerator(
+            redundancy=0.5, num_objects=15, mean_object_size=96 * 1024, seed=13
+        ).generate()
+
+        clock = SimulationClock()
+        clam = CLAM(small_config(), storage=SSD(clock=clock))
+        classic = WANOptimizer(
+            engine=CompressionEngine(index=clam, fingerprint_cost_ms=0.002),
+            link=Link(bandwidth_mbps=100.0, clock=clock),
+            clock=clock,
+        )
+        classic_result = classic.run_throughput_test(objects)
+
+        topology = MultiBranchTopology(
+            num_branches=1,
+            link_mbps=100.0,
+            num_shards=1,
+            replication_factor=1,
+            config=small_config(),
+            with_content_cache=False,
+        )
+        result = MultiBranchThroughputTest(topology).run([objects])
+        assert result.aggregate_bandwidth_improvement == pytest.approx(
+            classic_result.effective_bandwidth_improvement, rel=0.1
+        )
+
+    def test_stream_count_must_match_branches(self):
+        topology = MultiBranchTopology(
+            num_branches=2, num_shards=1, replication_factor=1, config=small_config()
+        )
+        with pytest.raises(ValueError):
+            MultiBranchThroughputTest(topology).run([[]])
+
+    def test_cluster_accessor_rejects_plain_index(self):
+        clam = CLAM(small_config(), storage=SSD(clock=SimulationClock()))
+        topology = MultiBranchTopology(num_branches=1, index=clam)
+        with pytest.raises(ConfigurationError):
+            topology.cluster
+
+    def test_run_is_deterministic(self):
+        def once():
+            streams = BranchTraceGenerator(
+                num_branches=2, objects_per_branch=6, mean_object_size=64 * 1024, seed=9
+            ).generate()
+            topology = MultiBranchTopology(
+                num_branches=2, num_shards=2, replication_factor=2, config=small_config(),
+                with_content_cache=False,
+            )
+            result = MultiBranchThroughputTest(topology).run(streams)
+            return (
+                result.chunks_matched,
+                result.cross_branch_matched,
+                [b.total_compressed_bytes for b in result.branches],
+                [b.time_with_optimizer_ms for b in result.branches],
+            )
+
+        assert once() == once()
