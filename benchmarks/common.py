@@ -5,6 +5,7 @@ from __future__ import annotations
 
 import json
 import platform
+import time
 from pathlib import Path
 from typing import Dict, Iterable, Optional, Sequence
 
@@ -18,8 +19,18 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: Version of the JSON envelope written by :func:`write_bench_json`.
 BENCH_SCHEMA_VERSION = 1
 
+#: When this module was imported — the default origin for a benchmark's
+#: ``elapsed_seconds`` (importing ``benchmarks.common`` is the first thing
+#: every benchmark CLI does, so import-to-write spans the whole run).
+_IMPORT_MONOTONIC = time.monotonic()
 
-def write_bench_json(name: str, payload: Dict, directory: Optional[Path] = None) -> Path:
+
+def write_bench_json(
+    name: str,
+    payload: Dict,
+    directory: Optional[Path] = None,
+    elapsed_seconds: Optional[float] = None,
+) -> Path:
     """Write ``BENCH_<name>.json`` and return its path.
 
     The machine-readable counterpart of :func:`print_table`: each benchmark
@@ -27,14 +38,29 @@ def write_bench_json(name: str, payload: Dict, directory: Optional[Path] = None)
     version, interpreter version, then the benchmark's own payload) at the
     repository root, so successive PRs accumulate a perf trajectory that
     tooling can diff without scraping stdout.
+
+    The envelope records how long the run took — ``elapsed_seconds`` (pass
+    the benchmark's own measurement, or let it default to time since this
+    module was imported) — so BENCH files from different runs are comparable
+    on cost, not just on results.  Two timestamps accompany it:
+    ``written_at_unix`` (wall clock, meaningful across machines and reboots)
+    and ``monotonic_time_s`` (the raw monotonic reading, ordering-only and
+    valid within one boot).  All keys are additive: older files simply lack
+    them.
     """
     root = Path(directory) if directory is not None else REPO_ROOT
     path = root / f"BENCH_{name}.json"
+    now = time.monotonic()
     record = {
         "bench": name,
         "schema_version": BENCH_SCHEMA_VERSION,
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
+        "elapsed_seconds": round(
+            elapsed_seconds if elapsed_seconds is not None else now - _IMPORT_MONOTONIC, 3
+        ),
+        "written_at_unix": round(time.time(), 3),
+        "monotonic_time_s": round(now, 3),
     }
     record.update(payload)
     path.write_text(json.dumps(record, indent=2) + "\n")

@@ -15,7 +15,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-bufferhash",
-    version="1.3.0",
+    version="1.4.0",
     description=(
         "Reproduction of 'Cheap and Large CAMs for High Performance "
         "Data-Intensive Networked Systems' (BufferHash/CLAM, NSDI 2010) "
@@ -28,7 +28,10 @@ setup(
     python_requires=">=3.10",  # int.bit_count in the Bloom filter hot path
     install_requires=[],
     extras_require={
-        "dev": ["pytest", "pytest-benchmark", "hypothesis"],
+        "dev": ["pytest", "pytest-benchmark", "hypothesis", "numpy"],
+        # Optional accelerator for the vectorised Rabin chunker; the package
+        # works without it (the table-driven scalar path is pure stdlib).
+        "fast": ["numpy"],
     },
     classifiers=[
         "Programming Language :: Python :: 3",

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from repro.flashsim.device import StorageDevice
+from repro.wanopt.fingerprint import BytesLike
 
 
 class ContentCache:
@@ -35,11 +36,17 @@ class ContentCache:
         page_size = self.device.geometry.page_size
         return max(1, -(-nbytes // page_size))
 
-    def store(self, fingerprint: bytes, size: int, payload: Optional[bytes] = None) -> Tuple[int, float]:
+    def store(
+        self, fingerprint: bytes, size: int, payload: Optional[BytesLike] = None
+    ) -> Tuple[int, float]:
         """Append a chunk; returns ``(address, latency_ms)``.
 
         The cache wraps around when full (oldest content is overwritten),
         mirroring the FIFO behaviour of commercial WAN optimizer stores.
+        ``payload`` may be any bytes-like buffer; page images are cut as
+        zero-copy ``memoryview`` slices (no intermediate per-page ``bytes``
+        here — the simulated device still copies each page image into its
+        own page store, as a real device would).
         """
         pages_needed = self._pages_for(size)
         total_pages = self.device.geometry.total_pages
@@ -50,11 +57,12 @@ class ContentCache:
         address = self._next_page
         page_size = self.device.geometry.page_size
         images = []
-        for page_offset in range(pages_needed):
-            if payload is None:
-                images.append(b"")
-            else:
-                images.append(payload[page_offset * page_size : (page_offset + 1) * page_size])
+        if payload is None:
+            images = [b""] * pages_needed
+        else:
+            view = payload if isinstance(payload, memoryview) else memoryview(payload)
+            for page_offset in range(pages_needed):
+                images.append(view[page_offset * page_size : (page_offset + 1) * page_size])
         latency = self.device.write_range(address, images)
         self._next_page += pages_needed
         self._directory[fingerprint] = (address, size)

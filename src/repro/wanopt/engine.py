@@ -156,7 +156,7 @@ class CompressionEngine:
             cache_address = 0
             if self.content_cache is not None:
                 cache_address, cache_latency = self.content_cache.store(
-                    chunk.fingerprint, chunk.size, chunk.payload
+                    chunk.fingerprint, chunk.size, chunk.raw
                 )
                 result.cache_write_time_ms += cache_latency
             insert = self.index.insert(
@@ -236,7 +236,7 @@ class CompressionEngine:
             cache_address = 0
             if self.content_cache is not None:
                 cache_address, cache_latency = self.content_cache.store(
-                    chunk.fingerprint, chunk.size, chunk.payload
+                    chunk.fingerprint, chunk.size, chunk.raw
                 )
                 result.cache_write_time_ms += cache_latency
                 if advance is not None and tick is not cache_clock and cache_latency:

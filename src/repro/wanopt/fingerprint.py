@@ -5,23 +5,37 @@ known — the index maps fingerprints to content-cache addresses, and the trace
 generator can therefore describe multi-terabyte workloads as streams of
 (fingerprint, size) descriptors without materialising the bytes, exactly as
 the paper's evaluation pre-computes chunks and SHA-1 hashes (§8).
+
+The real-byte pipeline is zero-copy end to end: :func:`fingerprint_bytes`
+and :class:`Chunk` accept any bytes-like buffer (``bytes``, ``bytearray``,
+``memoryview``), so the ``memoryview`` slices yielded by
+:meth:`~repro.wanopt.chunking.RabinChunker.split` flow through fingerprinting,
+the content cache and far-side reassembly without per-chunk copies.
+``Chunk.payload`` still exposes owned ``bytes`` at the public edge (the
+materialisation happens at most once and is cached); internal consumers read
+``Chunk.raw`` instead.
 """
 
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
+
+#: Anything the buffer-protocol consumers of this module accept.
+BytesLike = Union[bytes, bytearray, memoryview]
 
 
-def fingerprint_bytes(payload: bytes, length: int = 20) -> bytes:
-    """SHA-1 fingerprint of a chunk payload, truncated to ``length`` bytes."""
+def fingerprint_bytes(payload: BytesLike, length: int = 20) -> bytes:
+    """SHA-1 fingerprint of a chunk payload, truncated to ``length`` bytes.
+
+    ``payload`` may be any bytes-like buffer; a ``memoryview`` slice is
+    hashed in place without materialising intermediate ``bytes``.
+    """
     if length <= 0 or length > 20:
         raise ValueError("length must be in 1..20")
     return hashlib.sha1(payload).digest()[:length]
 
 
-@dataclass(frozen=True)
 class Chunk:
     """A content chunk as seen by the compression engine.
 
@@ -32,23 +46,83 @@ class Chunk:
     size:
         Chunk length in bytes.
     payload:
-        The raw bytes, when available (real-payload paths); ``None`` for
-        descriptor-only traces.
+        The raw bytes as ``bytes``, when available (real-payload paths);
+        ``None`` for descriptor-only traces.  When the chunk was built from
+        a ``memoryview`` slice, the ``bytes`` object is materialised lazily
+        on first access and cached.
+    raw:
+        The payload as whatever buffer the chunk was built from (``bytes``,
+        ``bytearray`` or ``memoryview``) — the zero-copy accessor used by
+        the engine, content cache and dedup receiver.
     """
 
-    fingerprint: bytes
-    size: int
-    payload: Optional[bytes] = None
+    __slots__ = ("_fingerprint", "_size", "_raw")
 
-    def __post_init__(self) -> None:
-        if self.size < 0:
+    def __init__(
+        self,
+        fingerprint: bytes,
+        size: int,
+        payload: Optional[BytesLike] = None,
+    ) -> None:
+        if size < 0:
             raise ValueError("size must be non-negative")
-        if not self.fingerprint:
+        if not fingerprint:
             raise ValueError("fingerprint must be non-empty")
-        if self.payload is not None and len(self.payload) != self.size:
+        if payload is not None and len(payload) != size:
             raise ValueError("payload length must match size")
+        self._fingerprint = fingerprint
+        self._size = size
+        self._raw = payload
+
+    # fingerprint and size are read-only: chunks are hashable value objects
+    # (dict/set keys across the dedup pipeline) and the payload-length
+    # invariant is only checked at construction.
+    @property
+    def fingerprint(self) -> bytes:
+        return self._fingerprint
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def raw(self) -> Optional[BytesLike]:
+        """The payload buffer exactly as provided (no copy)."""
+        return self._raw
+
+    @property
+    def payload(self) -> Optional[bytes]:
+        """The payload as owned ``bytes`` (materialised once, then cached)."""
+        raw = self._raw
+        if raw is None or type(raw) is bytes:
+            return raw
+        materialised = bytes(raw)
+        self._raw = materialised
+        return materialised
+
+    def __repr__(self) -> str:
+        return (
+            f"Chunk(fingerprint={self.fingerprint!r}, size={self.size}, "
+            f"payload={'<bytes>' if self._raw is not None else None})"
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Chunk):
+            return NotImplemented
+        return (
+            self.fingerprint == other.fingerprint
+            and self.size == other.size
+            and self.payload == other.payload
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.fingerprint, self.size, self.payload))
 
 
-def chunk_from_bytes(payload: bytes) -> Chunk:
-    """Build a :class:`Chunk` (fingerprint + size + payload) from raw bytes."""
+def chunk_from_bytes(payload: BytesLike) -> Chunk:
+    """Build a :class:`Chunk` (fingerprint + size + payload) from raw bytes.
+
+    Accepts any bytes-like buffer; a ``memoryview`` slice is fingerprinted
+    and stored without copying.
+    """
     return Chunk(fingerprint=fingerprint_bytes(payload), size=len(payload), payload=payload)

@@ -111,7 +111,11 @@ class DedupReceiver:
     """
 
     def __init__(self) -> None:
-        # fingerprint -> payload bytes (or None for descriptor-only traces).
+        # fingerprint -> owned payload bytes (None for descriptor-only
+        # traces).  The receiver stores `chunk.payload` (owned bytes), not
+        # the zero-copy view: a memoryview would pin the chunk's entire
+        # parent object payload for the receiver's lifetime, making retained
+        # memory scale with total traffic instead of unique content.
         self._store: Dict[bytes, Optional[bytes]] = {}
         self.objects_checked = 0
         self.objects_exact = 0
@@ -138,7 +142,8 @@ class DedupReceiver:
         self.objects_checked += 1
         if result is None:
             for chunk in obj.chunks:
-                self._store.setdefault(chunk.fingerprint, chunk.payload)
+                if chunk.fingerprint not in self._store:
+                    self._store[chunk.fingerprint] = chunk.payload
             self.objects_exact += 1
             return True, 0
         lost = 0
@@ -157,8 +162,10 @@ class DedupReceiver:
         exact = lost == 0
         if exact and all(piece is not None for piece in pieces):
             # Real-payload traces: check the reassembled bytes, not just the
-            # fingerprint bookkeeping.
-            original = b"".join(chunk.payload for chunk in obj.chunks)
+            # fingerprint bookkeeping.  The original side joins the chunks'
+            # zero-copy views transiently (one copy per object, never per
+            # chunk); the reassembled side joins the receiver's owned bytes.
+            original = b"".join(chunk.raw for chunk in obj.chunks)
             exact = b"".join(pieces) == original  # type: ignore[arg-type]
         self.chunks_lost += lost
         if exact:

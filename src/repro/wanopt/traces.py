@@ -150,11 +150,26 @@ class BranchTraceGenerator:
     """Per-branch object streams with shared cross-branch content.
 
     Models N branch offices of one organisation: every branch's traffic
-    mixes (a) chunks drawn from a **shared corporate pool** — the same
+    mixes (a) content drawn from a **shared corporate pool** — the same
     documents, packages and images flowing through every site, which is what
     makes a shared data-center fingerprint index win over per-branch ones —
-    with (b) chunks repeating that branch's own recent history and (c)
+    with (b) content repeating that branch's own recent history and (c)
     fresh, branch-unique content.
+
+    Two modes share one redundancy model:
+
+    * **descriptor mode** (default) emits synthetic ``(fingerprint, size)``
+      chunk descriptors without materialising bytes — the paper's §8
+      pre-computed-chunks simplification, cheap at any scale;
+    * **real-payload mode** (``real_payloads=True``) materialises the same
+      draw sequence as actual bytes: each draw becomes a byte block (shared
+      pool blocks are bit-identical across branches), blocks are joined into
+      the object payload, and the payload is cut by the optimized
+      :class:`~repro.wanopt.chunking.RabinChunker` and SHA-1-fingerprinted
+      for real — the full content pipeline, end to end.  Chunk-level dedup
+      then *emerges* from repeated byte ranges rather than being asserted by
+      construction, so measured hit rates sit slightly below descriptor
+      mode's (chunks straddling a block edge mix repeated and fresh bytes).
 
     Parameters
     ----------
@@ -162,18 +177,28 @@ class BranchTraceGenerator:
         Stream shape; object ids are globally unique across branches
         (branch ``b``'s objects start at ``b * objects_per_branch``).
     shared_fraction:
-        Probability a chunk is drawn from the shared pool (cross-branch
-        redundancy); 0 makes every branch's content disjoint.
+        Probability a block/chunk is drawn from the shared pool
+        (cross-branch redundancy); 0 makes every branch's content disjoint.
     local_redundancy:
-        Probability a chunk repeats one this branch has already seen
+        Probability a block/chunk repeats one this branch has already seen
         (intra-branch redundancy, as in :class:`SyntheticTraceGenerator`).
     shared_pool_size:
-        Distinct chunks in the shared pool; smaller pools mean more
+        Distinct blocks in the shared pool; smaller pools mean more
         cross-branch matches.
     seed:
         Master seed; each branch derives an independent substream, and the
-        same (seed, pool id) always yields the same shared chunk, so two
-        branches drawing pool chunk 17 really do carry identical content.
+        same (seed, pool id) always yields the same shared block, so two
+        branches drawing pool block 17 really do carry identical content.
+    real_payloads:
+        Generate actual bytes and run the real chunk-and-fingerprint
+        pipeline (see above).
+    average_chunk_size:
+        Rabin average chunk size for real-payload mode; defaults to
+        ``mean_chunk_size // 8`` so several content-defined chunks land
+        inside each redundancy block, keeping the chunk-hit-rate dilution
+        from chunks straddling block edges to roughly 10 %.  Raising it
+        towards ``mean_chunk_size`` trades dedup parity for fewer chunks
+        (fewer index operations).
     """
 
     num_branches: int = 4
@@ -184,6 +209,8 @@ class BranchTraceGenerator:
     local_redundancy: float = 0.2
     shared_pool_size: int = 2_000
     seed: int = 7
+    real_payloads: bool = False
+    average_chunk_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.num_branches <= 0 or self.objects_per_branch <= 0:
@@ -198,6 +225,11 @@ class BranchTraceGenerator:
             raise ValueError("shared_fraction + local_redundancy must be at most 1")
         if self.shared_pool_size <= 0:
             raise ValueError("shared_pool_size must be positive")
+        if self.average_chunk_size is not None and self.average_chunk_size < 64:
+            raise ValueError("average_chunk_size must be at least 64")
+        # Shared-pool payload blocks, materialised lazily (real mode only)
+        # and shared across branches so pool block i is bit-identical fleet-wide.
+        self._pool_payloads: dict = {}
 
     def _pool_chunk(self, pool_id: int) -> Chunk:
         """The shared pool's chunk ``pool_id`` — identical for every branch."""
@@ -211,8 +243,24 @@ class BranchTraceGenerator:
         size = low + int.from_bytes(fingerprint[:4], "big") % span
         return Chunk(fingerprint=fingerprint, size=size)
 
+    def _pool_payload(self, pool_id: int) -> bytes:
+        """The shared pool's *bytes* for ``pool_id`` — identical for every branch.
+
+        Sized exactly like the descriptor-mode pool chunk, derived from a
+        seed-and-id keyed RNG so the same (seed, pool id) always yields the
+        same content, and cached so a pool block is generated at most once.
+        """
+        payload = self._pool_payloads.get(pool_id)
+        if payload is None:
+            size = self._pool_chunk(pool_id).size
+            payload = random.Random(b"wanopt-shared-%d-%d" % (self.seed, pool_id)).randbytes(size)
+            self._pool_payloads[pool_id] = payload
+        return payload
+
     def generate(self) -> List[List[TraceObject]]:
         """One object stream per branch, ``generate()[b]`` for branch ``b``."""
+        if self.real_payloads:
+            return self._generate_real()
         streams: List[List[TraceObject]] = []
         for branch in range(self.num_branches):
             rng = random.Random(self.seed * 1_000_003 + branch)
@@ -243,6 +291,58 @@ class BranchTraceGenerator:
                     local_chunks.append(chunk)
                     chunks.append(chunk)
                     accumulated += chunk.size
+                objects.append(
+                    TraceObject(
+                        object_id=branch * self.objects_per_branch + index,
+                        chunks=tuple(chunks),
+                    )
+                )
+            streams.append(objects)
+        return streams
+
+    def _generate_real(self) -> List[List[TraceObject]]:
+        """Real-payload mode: the same draw model, materialised as bytes.
+
+        Every draw that descriptor mode turns into a synthetic chunk becomes
+        a byte block here (shared pool / branch-local repeat / fresh random
+        bytes); the blocks are joined into one payload per object — the only
+        full copy the pipeline makes — and the payload is cut by the
+        optimized Rabin chunker into zero-copy ``memoryview`` chunks with
+        real SHA-1 fingerprints.
+        """
+        chunker = RabinChunker(
+            average_size=(
+                self.average_chunk_size
+                if self.average_chunk_size is not None
+                else max(64, self.mean_chunk_size // 8)
+            )
+        )
+        streams: List[List[TraceObject]] = []
+        for branch in range(self.num_branches):
+            rng = random.Random(self.seed * 1_000_003 + branch)
+            local_blocks: List[bytes] = []
+            objects: List[TraceObject] = []
+            for index in range(self.objects_per_branch):
+                target = int(self.mean_object_size * (0.5 + rng.random()))
+                blocks: List[bytes] = []
+                accumulated = 0
+                while accumulated < target:
+                    draw = rng.random()
+                    if draw < self.shared_fraction:
+                        block = self._pool_payload(rng.randrange(self.shared_pool_size))
+                    elif draw < self.shared_fraction + self.local_redundancy and local_blocks:
+                        block = local_blocks[rng.randrange(len(local_blocks))]
+                    else:
+                        low = max(256, self.mean_chunk_size // 2)
+                        block = rng.randbytes(rng.randint(low, self.mean_chunk_size * 2))
+                    local_blocks.append(block)
+                    blocks.append(block)
+                    accumulated += len(block)
+                payload = b"".join(blocks)
+                chunks = tuple(
+                    Chunk(fingerprint=fingerprint_bytes(piece), size=len(piece), payload=piece)
+                    for piece in chunker.split(payload)
+                )
                 objects.append(
                     TraceObject(
                         object_id=branch * self.objects_per_branch + index,

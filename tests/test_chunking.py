@@ -97,3 +97,62 @@ class TestFingerprints:
             Chunk(fingerprint=b"f", size=-1)
         with pytest.raises(ValueError):
             Chunk(fingerprint=b"f", size=3, payload=b"toolong")
+        with pytest.raises(ValueError):
+            Chunk(fingerprint=b"f", size=3, payload=memoryview(b"toolong"))
+
+
+class TestZeroCopyPath:
+    """The real-byte pipeline must not copy payload bytes per chunk."""
+
+    def test_fingerprint_accepts_memoryview_without_copy(self):
+        data = b"some chunk payload bytes"
+        view = memoryview(data)[5:16]
+        assert fingerprint_bytes(view) == fingerprint_bytes(bytes(view))
+
+    def test_split_yields_memoryviews_over_the_input(self):
+        data = random.Random(7).randbytes(16 * 1024)
+        chunker = RabinChunker(average_size=1024)
+        pieces = list(chunker.split(data))
+        assert all(isinstance(piece, memoryview) for piece in pieces)
+        assert all(piece.obj is data for piece in pieces)
+        assert b"".join(pieces) == data
+
+    def test_chunk_from_memoryview_keeps_raw_and_materialises_payload_once(self):
+        data = random.Random(8).randbytes(4096)
+        view = memoryview(data)[100:900]
+        chunk = chunk_from_bytes(view)
+        assert chunk.size == 800
+        assert chunk.raw is view  # zero-copy until payload is requested
+        first = chunk.payload
+        assert first == bytes(view)
+        assert isinstance(first, bytes)
+        assert chunk.payload is first  # cached: materialised at most once
+        assert chunk.raw is first
+
+    def test_chunk_equality_and_hash_across_buffer_types(self):
+        from repro.wanopt.fingerprint import Chunk
+
+        data = b"identical payload"
+        fingerprint = fingerprint_bytes(data)
+        from_bytes = Chunk(fingerprint=fingerprint, size=len(data), payload=data)
+        from_view = Chunk(fingerprint=fingerprint, size=len(data), payload=memoryview(data))
+        assert from_bytes == from_view
+        assert hash(from_bytes) == hash(from_view)
+        assert from_bytes != Chunk(fingerprint=fingerprint, size=len(data))
+
+    def test_descriptor_chunk_payload_stays_none(self):
+        from repro.wanopt.fingerprint import Chunk
+
+        chunk = Chunk(fingerprint=b"f", size=123)
+        assert chunk.payload is None
+        assert chunk.raw is None
+
+    def test_chunk_public_fields_are_read_only(self):
+        """Chunks are hashable value objects; their identity must not drift."""
+        chunk = chunk_from_bytes(b"immutable")
+        with pytest.raises(AttributeError):
+            chunk.fingerprint = b"other"
+        with pytest.raises(AttributeError):
+            chunk.size = 1
+        with pytest.raises(AttributeError):
+            chunk.payload = b"x"

@@ -436,3 +436,101 @@ class TestTopologyHarness:
             )
 
         assert once() == once()
+
+
+class TestRealPayloadMode:
+    """Real bytes through the whole pipeline: chunked, hashed, deduplicated."""
+
+    TRACE = dict(
+        num_branches=2,
+        objects_per_branch=5,
+        mean_object_size=64 * 1024,
+        mean_chunk_size=8 * 1024,
+        shared_fraction=0.35,
+        local_redundancy=0.2,
+        shared_pool_size=60,
+        seed=47,
+    )
+
+    def _real_streams(self, **overrides):
+        return BranchTraceGenerator(
+            real_payloads=True, **{**self.TRACE, **overrides}
+        ).generate()
+
+    def test_real_streams_are_deterministic_and_carry_zero_copy_payloads(self):
+        first, second = self._real_streams(), self._real_streams()
+        # Zero-copy checks first: comparing chunks (or touching `payload`)
+        # materialises and caches owned bytes, by design.
+        for stream in first:
+            for obj in stream:
+                for chunk in obj.chunks:
+                    assert chunk.raw is not None
+                    assert isinstance(chunk.raw, memoryview)
+                    assert len(chunk.raw) == chunk.size
+        for stream_a, stream_b in zip(first, second):
+            for obj_a, obj_b in zip(stream_a, stream_b):
+                assert obj_a.chunks == obj_b.chunks
+
+    def test_object_ids_match_descriptor_mode(self):
+        real = self._real_streams()
+        descriptors = BranchTraceGenerator(**self.TRACE).generate()
+        assert [[o.object_id for o in s] for s in real] == [
+            [o.object_id for o in s] for s in descriptors
+        ]
+
+    def test_shared_pool_bytes_identical_across_branches(self):
+        """A cross-branch match must reference bit-identical content."""
+        streams = self._real_streams()
+        seen: dict = {}
+        duplicates = 0
+        for stream in streams:
+            for obj in stream:
+                for chunk in obj.chunks:
+                    payload = bytes(chunk.raw)
+                    if chunk.fingerprint in seen:
+                        duplicates += 1
+                        assert seen[chunk.fingerprint] == payload
+                    else:
+                        seen[chunk.fingerprint] = payload
+        assert duplicates > 0  # the trace really does repeat content
+
+    def test_topology_reconstructs_real_bytes_exactly(self):
+        # A small, heavily shared pool makes cross-branch pool-draw overlap
+        # (and therefore cross-branch matches) certain at this trace size.
+        streams = self._real_streams(shared_pool_size=15, shared_fraction=0.45)
+        topology = MultiBranchTopology(
+            num_branches=2,
+            num_shards=2,
+            replication_factor=2,
+            config=small_config(),
+            with_content_cache=False,
+        )
+        result = MultiBranchThroughputTest(topology).run(streams)
+        assert result.objects_reconstructed_exactly == result.objects_total
+        assert result.chunks_lost == 0
+        assert result.chunks_matched > 0
+        assert result.cross_branch_matched > 0
+
+    def test_dedup_hit_rate_tracks_descriptor_mode(self):
+        """Real-byte hit rates sit slightly below descriptor mode's (chunks
+        straddling redundancy-block edges mix repeated and fresh bytes) but
+        must stay within noise of them on the same trace shape."""
+
+        def hit_rate(streams):
+            topology = MultiBranchTopology(
+                num_branches=2,
+                num_shards=2,
+                replication_factor=1,
+                config=small_config(),
+                with_content_cache=False,
+            )
+            return MultiBranchThroughputTest(topology).run(streams).dedup_hit_rate
+
+        real = hit_rate(self._real_streams())
+        descriptor = hit_rate(BranchTraceGenerator(**self.TRACE).generate())
+        assert descriptor > 0
+        assert 0.7 <= real / descriptor <= 1.2, (real, descriptor)
+
+    def test_average_chunk_size_validation(self):
+        with pytest.raises(ValueError):
+            BranchTraceGenerator(real_payloads=True, average_chunk_size=32, **self.TRACE)
