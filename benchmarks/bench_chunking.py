@@ -38,7 +38,15 @@ import json
 import random
 import time
 
-from benchmarks.common import REPO_ROOT, print_table, standard_clam, write_bench_json
+from benchmarks.common import (
+    REPO_ROOT,
+    add_telemetry_arg,
+    dump_telemetry,
+    print_table,
+    standard_clam,
+    write_bench_json,
+)
+from repro.telemetry import build_snapshot
 from repro.wanopt.chunking import HAVE_NUMPY, RabinChunker
 from repro.wanopt.engine import CompressionEngine
 from repro.wanopt.traces import build_payload_objects
@@ -58,6 +66,10 @@ HEADLINE = (64, 4096)
 
 #: Ratchet floor: fresh optimized MB/s vs the committed JSON, same shape.
 RATCHET_FRACTION = 0.5
+
+#: Telemetry snapshot of the end-to-end CLAM, filled by
+#: ``measure_end_to_end(telemetry=True)`` for ``--telemetry-out``.
+_END_TO_END_SNAPSHOT = None
 
 END_TO_END = dict(num_objects=12, object_size=96 * 1024, redundancy=0.5, seed=23)
 
@@ -110,18 +122,22 @@ def measure_workload(payload_kib: int, average: int, reps: int, reference_reps: 
     return row
 
 
-def measure_end_to_end():
+def measure_end_to_end(telemetry: bool = False):
     """Generate, chunk, fingerprint and deduplicate real objects on a CLAM."""
     started = time.perf_counter()
     objects = build_payload_objects(**END_TO_END)
     build_seconds = time.perf_counter() - started
-    engine = CompressionEngine(index=standard_clam())
+    clam = standard_clam(telemetry_enabled=telemetry)
+    engine = CompressionEngine(index=clam)
     started = time.perf_counter()
     for obj in objects:
         engine.process_object_batched(obj)
     engine_seconds = time.perf_counter() - started
     total_bytes = sum(obj.size_bytes for obj in objects)
     total_seconds = build_seconds + engine_seconds
+    if telemetry:
+        global _END_TO_END_SNAPSHOT
+        _END_TO_END_SNAPSHOT = build_snapshot(per_shard={"clam": clam.telemetry})
     return {
         **END_TO_END,
         "total_bytes": total_bytes,
@@ -197,6 +213,7 @@ def main() -> None:
     parser.add_argument(
         "--quick", action="store_true", help="fewer reps + regression ratchet for CI"
     )
+    add_telemetry_arg(parser)
     args = parser.parse_args()
     global WORKLOADS, END_TO_END
     reps, reference_reps = (3, 1) if args.quick else (7, 3)
@@ -206,7 +223,7 @@ def main() -> None:
 
     started = time.perf_counter()
     rows = [measure_workload(*workload, reps, reference_reps) for workload in WORKLOADS]
-    end_to_end = measure_end_to_end()
+    end_to_end = measure_end_to_end(telemetry=args.telemetry_out is not None)
     ratchet = apply_ratchet(rows) if args.quick else []
 
     print_table(
@@ -257,6 +274,7 @@ def main() -> None:
     name = "chunking_quick" if args.quick else "chunking"
     path = write_bench_json(name, payload, elapsed_seconds=time.perf_counter() - started)
     print(f"wrote {path}")
+    dump_telemetry(args.telemetry_out, _END_TO_END_SNAPSHOT)
 
 
 if __name__ == "__main__":

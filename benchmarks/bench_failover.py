@@ -27,7 +27,13 @@ from __future__ import annotations
 
 import argparse
 
-from benchmarks.common import print_table, standard_replicated_cluster, write_bench_json
+from benchmarks.common import (
+    add_telemetry_arg,
+    dump_telemetry,
+    print_table,
+    standard_replicated_cluster,
+    write_bench_json,
+)
 from repro.service import FailureEvent, TrafficSimulator, TrafficSpec
 from repro.workloads.keygen import fingerprint_for
 
@@ -50,9 +56,19 @@ SPEC = TrafficSpec(
 
 
 def run_failover(replication_factor: int):
-    """One full kill-and-recover run; returns (traffic report, outcome dict)."""
+    """One full kill-and-recover run.
+
+    Returns ``(traffic report, outcome dict, telemetry snapshot)``.  The
+    cluster runs with telemetry enabled and the availability accounting is
+    read back from the metrics registry (``requests_completed`` /
+    ``requests_failed`` counters) rather than from the traffic report's
+    private tallies — the registry is the system of record this benchmark
+    now audits.
+    """
     cluster = standard_replicated_cluster(
-        num_shards=NUM_SHARDS, replication_factor=replication_factor
+        num_shards=NUM_SHARDS,
+        replication_factor=replication_factor,
+        telemetry_enabled=True,
     )
     simulator = TrafficSimulator(
         cluster,
@@ -68,11 +84,22 @@ def run_failover(replication_factor: int):
 
     lost = sum(1 for key in seeded if not cluster.lookup(key).found)
     recovery = report.recovery_reports[0] if report.recovery_reports else None
+
+    # Availability from the telemetry plane, not the report: the simulator
+    # bumps requests_completed / requests_failed on the cluster registry and
+    # this benchmark audits those counters.
+    registry = cluster.telemetry
+    completed = int(registry.counter("requests_completed").value)
+    failed = int(registry.counter("requests_failed").value)
+    issued = completed + failed
+    availability = completed / issued if issued else 1.0
+    assert availability == report.availability, (availability, report.availability)
+
     outcome = {
         "replication_factor": replication_factor,
-        "availability": report.availability,
-        "requests_completed": report.requests,
-        "requests_failed": report.failed_requests,
+        "availability": availability,
+        "requests_completed": completed,
+        "requests_failed": failed,
         "throughput_ops_per_sec": report.throughput_ops_per_second,
         "seeded_keys": WARMUP_KEYS,
         "lost_keys": lost,
@@ -84,11 +111,13 @@ def run_failover(replication_factor: int):
         "recovery_keys_lost": recovery.keys_lost if recovery else 0,
         "post_recovery_imbalance": cluster.stats.imbalance_factor(),
         "post_recovery_live_shards": list(cluster.live_shard_ids),
+        "healed_shards": cluster.stats.health()["healed_shards"],
+        "shards_never_failed": cluster.stats.health()["shards_never_failed"],
     }
-    return report, outcome
+    return report, outcome, cluster
 
 
-def check_invariants(outcomes) -> None:
+def check_invariants(outcomes, snapshots=None) -> None:
     """The failure-tolerance contract this benchmark exists to enforce."""
     replicated = outcomes[2]
     unreplicated = outcomes[1]
@@ -100,9 +129,23 @@ def check_invariants(outcomes) -> None:
     # RF=1 is the cautionary tale: the dead shard's key range is gone.
     assert unreplicated["lost_keys"] > 0, unreplicated
     assert unreplicated["availability"] < 1.0, unreplicated
+    if snapshots is None:
+        return
+    # The RF=2 event log must replay the drill in causal order: the schedule
+    # fires, the fault is injected, the failure detector marks the shard
+    # down, and only then does the recovery pass run.
+    events = snapshots[2]["events"]
+    kinds = [event["kind"] for event in events]
+    for kind in ("schedule_fired", "failure_injected", "shard_down", "recovery"):
+        assert kind in kinds, (kind, kinds)
+    assert kinds.index("schedule_fired") < kinds.index("failure_injected"), kinds
+    assert kinds.index("failure_injected") < kinds.index("shard_down"), kinds
+    assert kinds.index("shard_down") < kinds.index("recovery"), kinds
+    seqs = [event["seq"] for event in events]
+    assert seqs == sorted(seqs), seqs
 
 
-def emit_json(outcomes) -> None:
+def emit_json(outcomes, telemetry=None) -> None:
     """Machine-readable counterpart of the stdout table (BENCH_failover.json)."""
     path = write_bench_json(
         "failover",
@@ -124,6 +167,7 @@ def emit_json(outcomes) -> None:
             },
             "runs": {str(rf): outcome for rf, outcome in outcomes.items()},
         },
+        telemetry=telemetry,
     )
     print(f"wrote {path}")
 
@@ -164,6 +208,7 @@ def main() -> None:
     parser.add_argument(
         "--quick", action="store_true", help="smaller workload for CI smoke runs"
     )
+    add_telemetry_arg(parser)
     args = parser.parse_args()
     global SPEC, WARMUP_KEYS, FAIL_AT_REQUEST, RECOVER_AT_REQUEST
     if args.quick:
@@ -180,10 +225,16 @@ def main() -> None:
             zipf_skew=1.1,
             seed=47,
         )
-    outcomes = {rf: run_failover(rf)[1] for rf in (1, 2)}
+    outcomes = {}
+    clusters = {}
+    for rf in (1, 2):
+        _, outcomes[rf], clusters[rf] = run_failover(rf)
     print_outcomes(outcomes)
-    check_invariants(outcomes)
-    emit_json(outcomes)
+    # Committed BENCH file carries the compact RF=2 snapshot (no bucket
+    # arrays); --telemetry-out gets the full-fidelity one.
+    check_invariants(outcomes, {rf: c.telemetry_snapshot() for rf, c in clusters.items()})
+    emit_json(outcomes, telemetry=clusters[2].telemetry_snapshot(include_buckets=False))
+    dump_telemetry(args.telemetry_out, clusters[2].telemetry_snapshot())
 
 
 if __name__ == "__main__":

@@ -10,12 +10,19 @@ from __future__ import annotations
 
 import argparse
 
-from benchmarks.common import print_table, write_bench_json
+from benchmarks.common import (
+    add_telemetry_arg,
+    dump_telemetry,
+    print_table,
+    standard_clam,
+    write_bench_json,
+)
 from repro.analysis.cost_model import (
     FLASH_CHIP_COSTS,
     INTEL_SSD_COSTS,
     sweep_insert_cost,
 )
+from repro.telemetry import build_snapshot
 
 KB = 1024
 
@@ -85,6 +92,7 @@ def main() -> None:
     """
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="knee-point sizes only")
+    add_telemetry_arg(parser)
     args = parser.parse_args()
     global BUFFER_SIZES_KB
     if args.quick:
@@ -121,6 +129,18 @@ def main() -> None:
         },
     )
     print(f"wrote {path}")
+    if args.telemetry_out is not None:
+        # The sweep itself is analytical (no CLAM runs); the telemetry dump
+        # is the measured counterpart: a telemetry-enabled CLAM at the
+        # standard operating point driven through enough inserts to flush,
+        # whose insert-latency histogram (p50 amortised, p999 flush spikes)
+        # mirrors the model's average/worst-case split.
+        clam = standard_clam(telemetry_enabled=True)
+        for index in range(4000):
+            clam.insert(b"fig4-key-%06d" % index, b"v" * 8)
+        dump_telemetry(
+            args.telemetry_out, build_snapshot(per_shard={"clam": clam.telemetry})
+        )
 
 
 if __name__ == "__main__":

@@ -20,7 +20,13 @@ from __future__ import annotations
 
 import argparse
 
-from benchmarks.common import print_table, standard_cluster, write_bench_json
+from benchmarks.common import (
+    add_telemetry_arg,
+    dump_telemetry,
+    print_table,
+    standard_cluster,
+    write_bench_json,
+)
 from repro.service import TrafficSimulator, TrafficSpec
 
 SHARD_COUNTS = [1, 2, 4, 8]
@@ -37,13 +43,17 @@ SPEC = TrafficSpec(
 )
 
 
-def run_shard_scaling():
+def run_shard_scaling(telemetry: bool = False, clusters_out=None):
+    """Run the sweep; ``clusters_out`` (a dict) collects the live clusters
+    when the caller wants telemetry snapshots after the fact."""
     results = {}
     for num_shards in SHARD_COUNTS:
-        cluster = standard_cluster(num_shards=num_shards)
+        cluster = standard_cluster(num_shards=num_shards, telemetry_enabled=telemetry)
         simulator = TrafficSimulator(cluster, SPEC)
         simulator.warmup(1_000)
         results[num_shards] = simulator.run()
+        if clusters_out is not None:
+            clusters_out[num_shards] = cluster
     return results
 
 
@@ -136,6 +146,7 @@ def main() -> None:
     parser.add_argument(
         "--quick", action="store_true", help="cluster sizes 1 and 4 only, fewer requests"
     )
+    add_telemetry_arg(parser)
     args = parser.parse_args()
     global SHARD_COUNTS, SPEC
     if args.quick:
@@ -150,7 +161,10 @@ def main() -> None:
             zipf_skew=1.1,
             seed=31,
         )
-    results = run_shard_scaling()
+    clusters = {}
+    results = run_shard_scaling(
+        telemetry=args.telemetry_out is not None, clusters_out=clusters
+    )
     rows = []
     for num_shards in SHARD_COUNTS:
         report = results[num_shards]
@@ -171,6 +185,9 @@ def main() -> None:
         rows,
     )
     emit_json(results)
+    if args.telemetry_out is not None:
+        widest = clusters[max(clusters)]
+        dump_telemetry(args.telemetry_out, widest.telemetry_snapshot())
 
 
 if __name__ == "__main__":

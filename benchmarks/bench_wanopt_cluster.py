@@ -34,10 +34,17 @@ from __future__ import annotations
 import argparse
 import time
 
-from benchmarks.common import print_table, standard_config, write_bench_json
+from benchmarks.common import (
+    add_telemetry_arg,
+    dump_telemetry,
+    print_table,
+    standard_config,
+    write_bench_json,
+)
 from repro.core import CLAM
 from repro.flashsim import SSD, SimulationClock
 from repro.service import FailureEvent
+from repro.telemetry import Tracer, tracing
 from repro.wanopt import (
     BranchTraceGenerator,
     CompressionEngine,
@@ -79,6 +86,13 @@ MODE_PARITY_FLOOR = 0.75
 
 FAIL_AT_OBJECT = 8
 RECOVER_AT_OBJECT = 20
+#: Second act of the drill: after the recovery pass has taken the first
+#: victim off the ring, a *different* shard is crash-stopped and then healed
+#: (hinted writes replayed) rather than recovered — so the event log tells
+#: apart a shard that was downed-and-healed from one that never failed.
+SECOND_FAIL_AT_OBJECT = 24
+HEAL_AT_OBJECT = 28
+SECOND_VICTIM = "shard-2"
 DRILL = dict(num_branches=2, num_shards=4, replication_factor=2)
 
 #: Generated streams, cached per (num_branches, real_payloads): real-payload
@@ -110,13 +124,15 @@ def run_topology(
     replication_factor: int,
     schedule=(),
     real_payloads: bool | None = None,
+    telemetry: bool = False,
+    **config_overrides,
 ):
     topology = MultiBranchTopology(
         num_branches=num_branches,
         link_mbps=LINK_MBPS,
         num_shards=num_shards,
         replication_factor=replication_factor,
-        config=standard_config(),
+        config=standard_config(telemetry_enabled=telemetry, **config_overrides),
         with_content_cache=False,
     )
     result = MultiBranchThroughputTest(topology).run(
@@ -218,22 +234,92 @@ def mode_parity(num_branches: int, num_shards: int, replication_factor: int):
     }
 
 
+def _best_trace_tree(tracer: Tracer):
+    """The richest ``branch.transfer`` trace: most distinct shards, then spans.
+
+    The acceptance bar for the telemetry plane is one *complete* causal tree —
+    branch transfer → cluster batch → at least two shard sub-batches → device
+    I/O — captured from a real run, so this scans every root and summarises
+    the best one.
+    """
+    best = None
+    for root in tracer.roots():
+        if root.name != "branch.transfer":
+            continue
+        below = tracer.descendants(root)
+        names = [span.name for span in below]
+        shards = {
+            span.attributes.get("shard") for span in below if span.name == "shard.batch"
+        }
+        shards.discard(None)
+        summary = {
+            "trace_id": root.trace_id,
+            "root": root.name,
+            "branch": root.attributes.get("branch"),
+            "object_id": root.attributes.get("object_id"),
+            "spans": 1 + len(below),
+            "cluster_batches": names.count("cluster.batch"),
+            "distinct_shards": sorted(shards),
+            "device_events": sum(1 for name in names if name.startswith("device.")),
+            "clam_operations": sum(
+                1 for name in names if name in ("clam.lookup", "clam.insert")
+            ),
+        }
+        key = (
+            len(summary["distinct_shards"]) >= 2 and summary["device_events"] >= 1,
+            len(summary["distinct_shards"]),
+            summary["device_events"],
+            summary["spans"],
+        )
+        if best is None or key > best[0]:
+            best = (key, summary)
+    return best[1] if best is not None else None
+
+
 def failure_drill():
-    """Kill a shard mid-transfer at RF=2, then run a scheduled recovery."""
-    topology, result = run_topology(
-        DRILL["num_branches"],
-        DRILL["num_shards"],
-        DRILL["replication_factor"],
-        schedule=[
-            FailureEvent(at_request=FAIL_AT_OBJECT, action="fail", shard_id="shard-1"),
-            FailureEvent(at_request=RECOVER_AT_OBJECT, action="recover"),
-        ],
-    )
+    """Kill/heal drill at RF=2, traced and telemetry-audited end to end.
+
+    Act one is the original crash-stop: ``shard-1`` dies mid-transfer and a
+    scheduled :class:`RecoveryCoordinator` pass re-replicates its ranges and
+    removes it from the ring.  Act two downs a *second* shard and then heals
+    it in place (hinted writes replayed) — so the run's event log replays
+    the full kill → detect → recover → kill → heal sequence in order, and
+    :meth:`ClusterStats.health` can tell the healed shard from the ones that
+    never failed.  The whole drill runs with telemetry enabled and a tracer
+    installed; the caller gets the outcome dict plus the topology for
+    snapshot extraction.
+    """
+    tracer = Tracer()
+    with tracing(tracer):
+        topology, result = run_topology(
+            DRILL["num_branches"],
+            DRILL["num_shards"],
+            DRILL["replication_factor"],
+            schedule=[
+                FailureEvent(at_request=FAIL_AT_OBJECT, action="fail", shard_id="shard-1"),
+                FailureEvent(at_request=RECOVER_AT_OBJECT, action="recover"),
+                FailureEvent(
+                    at_request=SECOND_FAIL_AT_OBJECT, action="fail", shard_id=SECOND_VICTIM
+                ),
+                FailureEvent(at_request=HEAL_AT_OBJECT, action="heal", shard_id=SECOND_VICTIM),
+            ],
+            telemetry=True,
+            # Small DRAM buffers so the drill exercises the full storage
+            # hierarchy: buffers fill mid-transfer, flushes write incarnations
+            # to flash and lookups read them back — the device I/O leaves the
+            # trace trees need to reach all the way down.
+            buffer_capacity_items=16,
+        )
     recovery = result.recovery_reports[0] if result.recovery_reports else None
-    return {
+    cluster = topology.cluster
+    health = cluster.stats.health()
+    outcome = {
         **DRILL,
         "fail_at_object": FAIL_AT_OBJECT,
         "recover_at_object": RECOVER_AT_OBJECT,
+        "second_fail_at_object": SECOND_FAIL_AT_OBJECT,
+        "heal_at_object": HEAL_AT_OBJECT,
+        "second_victim": SECOND_VICTIM,
         "availability": result.availability,
         "objects_total": result.objects_total,
         "objects_pass_through": result.objects_pass_through,
@@ -241,11 +327,19 @@ def failure_drill():
         "chunks_lost": result.chunks_lost,
         "recovery_keys_lost": recovery.keys_lost if recovery else -1,
         "recovery_keys_re_replicated": recovery.keys_re_replicated if recovery else 0,
-        "post_recovery_live_shards": list(topology.cluster.live_shard_ids),
+        "post_recovery_live_shards": list(cluster.live_shard_ids),
+        "shards_ever_down": health["shards_ever_down"],
+        "healed_shards": health["healed_shards"],
+        "shards_never_failed": health["shards_never_failed"],
+        "event_kinds": [event.kind for event in cluster.events],
+        "trace_roots": len(tracer.roots()),
+        "trace_spans": len(tracer.spans),
+        "best_trace": _best_trace_tree(tracer),
     }
+    return outcome, topology, tracer
 
 
-def check_invariants(payload) -> None:
+def check_invariants(payload, drill_snapshot=None) -> None:
     """The contracts this benchmark exists to enforce."""
     parity = payload["parity"]
     assert abs(parity["ratio"] - 1.0) <= 0.10, parity
@@ -262,6 +356,46 @@ def check_invariants(payload) -> None:
     assert drill["objects_reconstructed_exactly"] == drill["objects_total"], drill
     assert drill["chunks_lost"] == 0, drill
     assert drill["recovery_keys_lost"] == 0, drill
+
+    # The event log must replay the two-act drill in causal order:
+    # kill -> detect -> recover, then the second kill -> detect -> heal.
+    kinds = drill["event_kinds"]
+    for kind in ("schedule_fired", "failure_injected", "shard_down", "recovery", "shard_healed"):
+        assert kind in kinds, (kind, kinds)
+    assert kinds.index("schedule_fired") < kinds.index("failure_injected"), kinds
+    assert kinds.index("failure_injected") < kinds.index("shard_down"), kinds
+    assert kinds.index("shard_down") < kinds.index("recovery"), kinds
+    assert kinds.index("recovery") < kinds.index("shard_healed"), kinds
+    second_kill = len(kinds) - 1 - kinds[::-1].index("failure_injected")
+    assert kinds.index("recovery") < second_kill < kinds.index("shard_healed"), kinds
+
+    # health() must tell the healed shard from the never-failed ones.
+    assert drill["second_victim"] in drill["healed_shards"], drill
+    assert "shard-1" in drill["shards_ever_down"], drill
+    assert "shard-1" not in drill["healed_shards"], drill
+    assert drill["shards_never_failed"], drill
+    assert drill["second_victim"] not in drill["shards_never_failed"], drill
+
+    # One complete causal tree: branch transfer -> cluster batch -> >=2 shard
+    # sub-batches -> device I/O events.
+    best = drill["best_trace"]
+    assert best is not None, drill
+    assert best["cluster_batches"] >= 1, best
+    assert len(best["distinct_shards"]) >= 2, best
+    assert best["device_events"] >= 1, best
+    assert best["clam_operations"] >= 1, best
+
+    if drill_snapshot is not None:
+        per_shard = drill_snapshot["per_shard"]
+        assert len(per_shard) >= 2, sorted(per_shard)
+        for shard_id, registry in per_shard.items():
+            histograms = registry["histograms"]
+            for name in ("lookup_latency_ms", "insert_latency_ms"):
+                assert name in histograms, (shard_id, sorted(histograms))
+                hist = histograms[name]
+                assert hist["count"] > 0, (shard_id, name, hist)
+                pct = hist["percentiles_ms"]
+                assert pct["p50"] <= pct["p99"] <= pct["p999"], (shard_id, name, pct)
 
     modes = payload["mode_parity"]
     if modes is not None:
@@ -280,14 +414,17 @@ def main() -> None:
         help="sweep on pre-computed chunk descriptors (the paper's §8 dodge) "
         "instead of real payloads",
     )
+    add_telemetry_arg(parser)
     args = parser.parse_args()
     global SWEEP, TRACE, FAIL_AT_OBJECT, RECOVER_AT_OBJECT, DRILL
+    global SECOND_FAIL_AT_OBJECT, HEAL_AT_OBJECT
     global REAL_PAYLOADS, MODE_PARITY_FLOOR
     REAL_PAYLOADS = not args.descriptors
     if args.quick:
         SWEEP = [(1, 1, 1), (2, 2, 1), (2, 3, 2)]
         TRACE = dict(TRACE, objects_per_branch=8, mean_object_size=128 * 1024)
         FAIL_AT_OBJECT, RECOVER_AT_OBJECT = 5, 12
+        SECOND_FAIL_AT_OBJECT, HEAL_AT_OBJECT = 13, 15
         DRILL = dict(num_branches=2, num_shards=3, replication_factor=2)
         MODE_PARITY_FLOOR = 0.65
 
@@ -314,7 +451,8 @@ def main() -> None:
     # descriptor comparison (which must run both) only happens on the
     # default real-payload runs.
     modes = mode_parity(*shared_point) if REAL_PAYLOADS else None
-    drill = failure_drill()
+    drill, drill_topology, drill_tracer = failure_drill()
+    drill_snapshot = drill_topology.cluster.telemetry_snapshot(tracer=drill_tracer)
 
     mode_label = "real payloads" if REAL_PAYLOADS else "descriptors"
     print_table(
@@ -368,6 +506,13 @@ def main() -> None:
         f"{drill['chunks_lost']} chunks lost, "
         f"{drill['recovery_keys_re_replicated']} keys re-replicated"
     )
+    best = drill["best_trace"]
+    print(
+        f"telemetry: {drill['trace_spans']} spans in {drill['trace_roots']} traces; "
+        f"richest tree touches {len(best['distinct_shards'])} shards with "
+        f"{best['device_events']} device I/O events; "
+        f"healed={drill['healed_shards']}, never failed={drill['shards_never_failed']}"
+    )
 
     payload = {
         "spec": {
@@ -382,10 +527,16 @@ def main() -> None:
         "mode_parity": modes,
         "failure_drill": drill,
     }
-    check_invariants(payload)
+    check_invariants(payload, drill_snapshot)
     elapsed = time.perf_counter() - started
-    path = write_bench_json("wanopt_cluster", payload, elapsed_seconds=elapsed)
+    path = write_bench_json(
+        "wanopt_cluster",
+        payload,
+        elapsed_seconds=elapsed,
+        telemetry=drill_topology.cluster.telemetry_snapshot(include_buckets=False),
+    )
     print(f"wrote {path}")
+    dump_telemetry(args.telemetry_out, drill_snapshot)
 
 
 if __name__ == "__main__":

@@ -1,8 +1,9 @@
 """Shared helpers for the benchmark harness (table printing, JSON emission,
-standard setups)."""
+standard setups, telemetry dumps)."""
 
 from __future__ import annotations
 
+import argparse
 import json
 import platform
 import time
@@ -11,6 +12,7 @@ from typing import Dict, Iterable, Optional, Sequence
 
 from repro.core import CLAM, CLAMConfig
 from repro.service import ClusterService
+from repro.telemetry import write_snapshot
 
 #: Repository root (parent of this ``benchmarks`` package); machine-readable
 #: benchmark results land here as ``BENCH_<name>.json``.
@@ -30,6 +32,7 @@ def write_bench_json(
     payload: Dict,
     directory: Optional[Path] = None,
     elapsed_seconds: Optional[float] = None,
+    telemetry: Optional[Dict] = None,
 ) -> Path:
     """Write ``BENCH_<name>.json`` and return its path.
 
@@ -47,6 +50,12 @@ def write_bench_json(
     and ``monotonic_time_s`` (the raw monotonic reading, ordering-only and
     valid within one boot).  All keys are additive: older files simply lack
     them.
+
+    ``telemetry`` embeds a telemetry snapshot envelope (see
+    :func:`repro.telemetry.build_snapshot`) under the additive ``telemetry``
+    key — benchmarks pass a compact snapshot (``include_buckets=False``) so
+    the per-shard percentile tables land in the committed BENCH files without
+    the long bucket arrays (those go to ``--telemetry-out``).
     """
     root = Path(directory) if directory is not None else REPO_ROOT
     path = root / f"BENCH_{name}.json"
@@ -63,8 +72,33 @@ def write_bench_json(
         "monotonic_time_s": round(now, 3),
     }
     record.update(payload)
+    if telemetry is not None:
+        record["telemetry"] = telemetry
     path.write_text(json.dumps(record, indent=2) + "\n")
     return path
+
+
+def add_telemetry_arg(parser: argparse.ArgumentParser) -> None:
+    """Add the ``--telemetry-out PATH`` flag every bench CLI shares."""
+    parser.add_argument(
+        "--telemetry-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "dump the full telemetry snapshot (registry with bucket arrays, "
+            "per-shard percentile tables, event log, span trees when traced) "
+            "as JSON to PATH, alongside the BENCH_*.json output"
+        ),
+    )
+
+
+def dump_telemetry(path: Optional[str], snapshot: Optional[Dict]) -> Optional[Path]:
+    """Honour ``--telemetry-out``: write ``snapshot`` to ``path`` if both given."""
+    if path is None or snapshot is None:
+        return None
+    written = write_snapshot(path, snapshot)
+    print(f"telemetry snapshot -> {written}")
+    return written
 
 
 def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:

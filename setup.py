@@ -15,16 +15,18 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-bufferhash",
-    version="1.4.0",
+    version="1.5.0",
     description=(
         "Reproduction of 'Cheap and Large CAMs for High Performance "
         "Data-Intensive Networked Systems' (BufferHash/CLAM, NSDI 2010) "
         "with a sharded, replicated, failure-tolerant service layer, a "
-        "multi-branch WAN-optimizer deployment and traffic simulator"
+        "multi-branch WAN-optimizer deployment, traffic simulator and a "
+        "unified telemetry plane (metrics, tracing, event log)"
     ),
     long_description=__doc__,
     package_dir={"": "src"},
     packages=find_packages("src"),
+    package_data={"repro.telemetry": ["telemetry_schema.json"]},
     python_requires=">=3.10",  # int.bit_count in the Bloom filter hot path
     install_requires=[],
     extras_require={

@@ -23,6 +23,10 @@ Subpackages
     Data-deduplication index and index-merge experiment (§3).
 ``repro.directory``
     Content-name resolution directory backed by a CLAM (§3).
+``repro.telemetry``
+    Unified telemetry plane: metrics registry (mergeable latency
+    histograms), span tracing on the simulated clocks, structured event
+    log, JSON/Prometheus exporters and the snapshot schema validator.
 """
 
 from repro import (
@@ -33,11 +37,12 @@ from repro import (
     directory,
     flashsim,
     service,
+    telemetry,
     wanopt,
     workloads,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "__version__",
@@ -48,6 +53,7 @@ __all__ = [
     "directory",
     "flashsim",
     "service",
+    "telemetry",
     "wanopt",
     "workloads",
 ]

@@ -38,6 +38,8 @@ from repro.core.results import (
 )
 from repro.flashsim.clock import SimulationClock
 from repro.flashsim.device import StorageDevice
+from repro.telemetry import trace as _trace
+from repro.telemetry.registry import MetricsRegistry
 from repro.flashsim.disk import MAGNETIC_DISK_PROFILE, MagneticDisk
 from repro.flashsim.dram import DRAMDevice
 from repro.flashsim.flash_chip import FlashChip, GENERIC_FLASH_CHIP_PROFILE
@@ -129,6 +131,20 @@ class CLAM:
             self.devices = [self.device]
         self.stats = OperationStats(keep_samples=keep_latency_samples)
 
+        # Telemetry: the histogram/counter objects are resolved once here so
+        # the per-operation cost is a single cached ``is None`` check when
+        # disabled and one ``observe``/``inc`` call when enabled.
+        if self.config.telemetry_enabled:
+            self.telemetry: Optional[MetricsRegistry] = MetricsRegistry()
+            self._tel_lookup = self.telemetry.histogram("lookup_latency_ms")
+            self._tel_insert = self.telemetry.histogram("insert_latency_ms")
+            self._tel_ops = self.telemetry.counter("operations")
+        else:
+            self.telemetry = None
+            self._tel_lookup = None
+            self._tel_insert = None
+            self._tel_ops = None
+
         self._unbuffered_data: Dict[bytes, bytes] = {}
         self._unbuffered_bloom: Optional[BloomFilter] = None
         if self.config.use_buffering:
@@ -181,11 +197,25 @@ class CLAM:
         """Insert or update a (key, value) pair."""
         self._check_available()
         key = self._canonical(key)
-        if self.bufferhash is not None:
-            result = self.bufferhash.insert(key, value)
+        tracer = _trace.ACTIVE
+        if tracer is None:
+            if self.bufferhash is not None:
+                result = self.bufferhash.insert(key, value)
+            else:
+                result = self._unbuffered_insert(key, value)
         else:
-            result = self._unbuffered_insert(key, value)
+            span = tracer.begin("clam.insert", self.clock)
+            try:
+                if self.bufferhash is not None:
+                    result = self.bufferhash.insert(key, value)
+                else:
+                    result = self._unbuffered_insert(key, value)
+            finally:
+                tracer.end(span, self.clock)
         self.stats.record_insert(result)
+        if self._tel_insert is not None:
+            self._tel_insert.observe(result.latency_ms)
+            self._tel_ops.inc()
         return result
 
     def update(self, key: KeyLike, value: bytes) -> InsertResult:
@@ -196,11 +226,26 @@ class CLAM:
         """Look up the most recent value for a key."""
         self._check_available()
         key = self._canonical(key)
-        if self.bufferhash is not None:
-            result = self.bufferhash.lookup(key)
+        tracer = _trace.ACTIVE
+        if tracer is None:
+            if self.bufferhash is not None:
+                result = self.bufferhash.lookup(key)
+            else:
+                result = self._unbuffered_lookup(key)
         else:
-            result = self._unbuffered_lookup(key)
+            span = tracer.begin("clam.lookup", self.clock)
+            try:
+                if self.bufferhash is not None:
+                    result = self.bufferhash.lookup(key)
+                else:
+                    result = self._unbuffered_lookup(key)
+            finally:
+                tracer.end(span, self.clock)
+            span.attributes["served_from"] = result.served_from.value
         self.stats.record_lookup(result)
+        if self._tel_lookup is not None:
+            self._tel_lookup.observe(result.latency_ms)
+            self._tel_ops.inc()
         return result
 
     def delete(self, key: KeyLike) -> DeleteResult:
@@ -212,6 +257,8 @@ class CLAM:
         else:
             result = self._unbuffered_delete(key)
         self.stats.deletes += 1
+        if self._tel_ops is not None:
+            self._tel_ops.inc()
         return result
 
     def get(self, key: KeyLike) -> Optional[bytes]:

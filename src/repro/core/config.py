@@ -83,6 +83,14 @@ class CLAMConfig:
         per-layer re-hashing; derived values are bit-identical either way
         (this is a measurement ablation for ``benchmarks/bench_hotpath.py``,
         not a behaviour switch).
+    telemetry_enabled:
+        When True the CLAM owns a :class:`~repro.telemetry.MetricsRegistry`
+        recording per-operation latency histograms and operation counters
+        (and a sharded :class:`~repro.service.cluster.ClusterService` gains
+        cluster-level request metrics).  Off by default: the hot path then
+        pays only a cached ``is None`` check per operation, ratcheted to
+        within 5% of the untelemetered throughput by
+        ``benchmarks/bench_hotpath.py``.
     eviction_policy_name:
         One of ``fifo``, ``lru``, ``update``, ``priority``.
     """
@@ -98,6 +106,7 @@ class CLAMConfig:
     use_bloom_filters: bool = True
     use_bit_slicing: bool = True
     use_hash_once: bool = True
+    telemetry_enabled: bool = False
     eviction_policy_name: str = "fifo"
     memory_cost: MemoryCostModel = field(default_factory=MemoryCostModel)
 

@@ -17,6 +17,7 @@ from typing import Optional
 from repro.flashsim.clock import SimulationClock
 from repro.flashsim.faults import FaultInjector
 from repro.flashsim.stats import IOEvent, IOKind, IOStats
+from repro.telemetry import trace as _trace
 
 
 @dataclass(frozen=True)
@@ -132,6 +133,18 @@ class StorageDevice(abc.ABC):
                 timestamp_ms=self.clock.now_ms,
             )
         )
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            # The clock already advanced past this I/O, so the event window is
+            # [now - latency, now] on the device's own clock.
+            tracer.event(
+                "device." + kind.value,
+                self.clock,
+                duration_ms=latency_ms,
+                device=self.name,
+                nbytes=nbytes,
+                sequential=sequential,
+            )
 
     # -- Public API ------------------------------------------------------------
 

@@ -50,6 +50,7 @@ from repro.core.errors import (
 )
 from repro.core.hashing import KeyLike, canonical_key
 from repro.service.router import ShardRouter
+from repro.telemetry import trace as _trace
 from repro.workloads.runner import apply_operation
 from repro.workloads.workload import Operation, OpKind
 
@@ -347,41 +348,60 @@ class BatchExecutor:
             # Charge routing + dispatch to the owning shard's clock so that
             # every duration in the system derives from the same time line.
             clock.advance(stats.dispatch_ms + stats.routing_ms)
+        tracer = _trace.ACTIVE
+        span = (
+            tracer.begin("shard.batch", clock, shard=shard_id, operations=len(slots))
+            if tracer is not None
+            else None
+        )
         started_ms = clock.now_ms if clock is not None else 0.0
         fallback_busy_ms = 0.0
-        for position, slot in enumerate(slots):
-            slot.attempted.add(shard_id)
-            try:
-                result = apply_operation(shard, slot.operation, key=slot.key)
-            except DeviceFailedError:
-                if self._is_live is None:
-                    raise
-                self._notify_failure(shard_id)
-                leftover = slots[position:]
-                for pending in leftover:
-                    pending.attempted.add(shard_id)
-                    # This shard's copy of each unfinished write is lost until
-                    # a heal replays it or recovery re-replicates the key.
-                    if (
-                        pending.operation.kind is not OpKind.LOOKUP
-                        and self._on_missed_write is not None
-                    ):
-                        self._on_missed_write(shard_id, pending.key)
-                break
-            if slot.primary:
-                results[slot.index] = result
-            elif results[slot.index] is None:
-                # A replica's record stands in for a failed primary's.
-                results[slot.index] = result
-            stats.operations += 1
-            _count(stats, slot.operation.kind, result)
-            fallback_busy_ms += getattr(result, "latency_ms", 0.0)
-        else:
-            leftover = []
+        try:
+            for position, slot in enumerate(slots):
+                slot.attempted.add(shard_id)
+                try:
+                    result = apply_operation(shard, slot.operation, key=slot.key)
+                except DeviceFailedError:
+                    if self._is_live is None:
+                        raise
+                    self._notify_failure(shard_id)
+                    leftover = slots[position:]
+                    for pending in leftover:
+                        pending.attempted.add(shard_id)
+                        # This shard's copy of each unfinished write is lost until
+                        # a heal replays it or recovery re-replicates the key.
+                        if (
+                            pending.operation.kind is not OpKind.LOOKUP
+                            and self._on_missed_write is not None
+                        ):
+                            self._on_missed_write(shard_id, pending.key)
+                    break
+                if slot.primary:
+                    results[slot.index] = result
+                elif results[slot.index] is None:
+                    # A replica's record stands in for a failed primary's.
+                    results[slot.index] = result
+                stats.operations += 1
+                _count(stats, slot.operation.kind, result)
+                fallback_busy_ms += getattr(result, "latency_ms", 0.0)
+            else:
+                leftover = []
+        except DeviceFailedError:
+            # Stand-alone mode propagates the failure; close the span so the
+            # trace stack stays balanced for the caller's surviving spans.
+            if span is not None:
+                span.attributes["failed"] = True
+                tracer.end(span, clock)
+            raise
         if clock is not None:
             stats.busy_ms = clock.now_ms - started_ms
         else:
             stats.busy_ms = fallback_busy_ms
+        if span is not None:
+            if leftover:
+                span.attributes["failed"] = True
+                span.attributes["operations_completed"] = stats.operations
+            tracer.end(span, clock)
         return stats, leftover
 
 

@@ -50,6 +50,10 @@ from repro.service.batch import (
     BatchResult,
 )
 from repro.service.router import HandoffStats, ShardRouter
+from repro.telemetry import trace as _trace
+from repro.telemetry.events import EventLog
+from repro.telemetry.export import build_snapshot
+from repro.telemetry.registry import MetricsRegistry
 from repro.workloads.workload import (
     Operation,
     OpKind,
@@ -133,6 +137,21 @@ class ClusterStats:
         if service is None:
             raise ConfigurationError("health() needs stats attached to a ClusterService")
         last = service.last_recovery
+        # The event log is the ground truth for failure *history*: the live
+        # sets above only describe the present, so a shard that went down and
+        # was healed mid-run would otherwise be indistinguishable from one
+        # that never failed.
+        ever_down: Set[str] = set()
+        healed: Set[str] = set()
+        down_now: Set[str] = set()
+        for event in service.events:
+            shard = event.attributes.get("shard")
+            if event.kind == "shard_down":
+                ever_down.add(shard)
+                down_now.add(shard)
+            elif event.kind == "shard_healed" and shard in down_now:
+                down_now.discard(shard)
+                healed.add(shard)
         return {
             "replication_factor": service.replication_factor,
             "live_shards": list(service.live_shard_ids),
@@ -143,6 +162,11 @@ class ClusterStats:
             "recoveries": service.recoveries,
             "keys_re_replicated": last.keys_re_replicated if last is not None else 0,
             "last_recovery_ms": last.duration_ms if last is not None else 0.0,
+            "shards_ever_down": sorted(ever_down),
+            "healed_shards": sorted(healed),
+            "shards_never_failed": sorted(
+                shard for shard in service.live_shard_ids if shard not in ever_down
+            ),
         }
 
 
@@ -214,6 +238,15 @@ class ClusterService:
         self.failure_threshold = failure_threshold
         self.shards: Dict[str, CLAM] = {}
         self.clock = ClockEnsemble()
+        #: Structured record of membership/failure/recovery transitions,
+        #: stamped on the cluster clock.  Always on — these events are rare.
+        self.events = EventLog(clock=self.clock)
+        #: Cluster-level metrics (request counters, liveness gauges); the
+        #: per-shard registries live on the CLAMs themselves.  ``None`` when
+        #: ``config.telemetry_enabled`` is off.
+        self.telemetry: Optional[MetricsRegistry] = (
+            MetricsRegistry() if self.config.telemetry_enabled else None
+        )
         # Failure-handling state: cumulative DeviceFailedError counts and the
         # set of shards currently considered down (still on the ring until a
         # recovery decommissions or a heal revives them).
@@ -301,6 +334,7 @@ class ClusterService:
         self._errors[shard_id] = count
         if shard_id not in self._down and count >= self.failure_threshold:
             self._down.add(shard_id)
+            self.events.record("shard_down", shard=shard_id, errors=count)
             return True
         return False
 
@@ -325,6 +359,7 @@ class ClusterService:
                 device.faults.degrade(**fault_kwargs)
             else:
                 raise ConfigurationError(f"unknown fault mode {mode!r}")
+        self.events.record("failure_injected", shard=shard_id, mode=mode)
 
     def heal_shard(self, shard_id: str) -> None:
         """Clear faults and error state; the shard resumes serving.
@@ -339,12 +374,18 @@ class ClusterService:
         """
         if shard_id not in self.shards:
             raise ConfigurationError(f"shard {shard_id!r} not present")
+        was_down = shard_id in self._down
         for device in self.shards[shard_id].devices:
             device.faults.heal()
         self._errors.pop(shard_id, None)
         self._down.discard(shard_id)
+        self.events.record("shard_healed", shard=shard_id, was_down=was_down)
+        replayed_before = self.hinted_handoffs
         for key in sorted(self._hints.pop(shard_id, ())):
             self._replay_hint(shard_id, key)
+        replayed = self.hinted_handoffs - replayed_before
+        if replayed:
+            self.events.record("hinted_handoff_replay", shard=shard_id, keys_replayed=replayed)
 
     def _record_hint(self, shard_id: str, key: KeyLike) -> None:
         """Remember that ``shard_id`` missed a write/delete for ``key``."""
@@ -534,6 +575,12 @@ class ClusterService:
     def execute_batch(self, operations: Iterable[Operation]) -> BatchResult:
         """Execute a batch of operations grouped by shard (see BatchExecutor)."""
         submitted = list(operations)
+        tracer = _trace.ACTIVE
+        span = (
+            tracer.begin("cluster.batch", self.clock, operations=len(submitted))
+            if tracer is not None
+            else None
+        )
         try:
             batch = self.executor.execute(submitted)
         except ShardUnavailableError as error:
@@ -543,8 +590,13 @@ class ClusterService:
             # per-op results to the error for exactly this purpose.
             self._track_batch(submitted, getattr(error, "partial_results", None))
             raise
+        finally:
+            if span is not None:
+                tracer.end(span, self.clock)
         self._track_batch(submitted, batch.results)
         self.last_batch = batch
+        if span is not None:
+            span.attributes["retried_operations"] = batch.retried_operations
         return batch
 
     def lookup_batch(self, keys: Iterable[KeyLike]) -> List[LookupResult]:
@@ -602,7 +654,9 @@ class ClusterService:
                 index += 1
             shard_id = f"shard-{index}"
         self._build_shard(shard_id)
-        return self.router.add_shard(shard_id)
+        handoff = self.router.add_shard(shard_id)
+        self.events.record("shard_added", shard=shard_id)
+        return handoff
 
     def remove_shard(self, shard_id: str) -> HandoffStats:
         """Decommission a shard and return the key-range handoff it causes.
@@ -619,9 +673,36 @@ class ClusterService:
         self._errors.pop(shard_id, None)
         self._down.discard(shard_id)
         self._hints.pop(shard_id, None)
+        self.events.record("shard_removed", shard=shard_id)
         return handoff
 
     # -- Reporting ----------------------------------------------------------------------
+
+    def telemetry_snapshot(self, include_buckets: bool = True, tracer=None) -> Dict[str, object]:
+        """The standard telemetry envelope for this cluster.
+
+        ``registry`` in the result merges every shard's registry with the
+        cluster-level one, ``per_shard`` keeps them separate (the per-shard
+        percentile tables), and ``events`` is the always-on event log — so a
+        telemetry-disabled cluster still yields a valid envelope with
+        ``enabled: false`` and its failure history.  Pass a
+        :class:`~repro.telemetry.Tracer` to embed its span trees.
+        """
+        if self.telemetry is not None:
+            self.telemetry.gauge("live_shards").set(len(self.live_shard_ids))
+            self.telemetry.gauge("down_shards").set(len(self.down_shard_ids))
+        per_shard = {
+            shard_id: clam.telemetry
+            for shard_id, clam in self.shards.items()
+            if clam.telemetry is not None
+        }
+        return build_snapshot(
+            per_shard=per_shard,
+            events=self.events,
+            tracer=tracer,
+            include_buckets=include_buckets,
+            extra_registry=self.telemetry,
+        )
 
     def throughput_ops_per_second(self, combined: Optional[Dict[str, float]] = None) -> float:
         """Cluster-wide hash operations per simulated (parallel) second.

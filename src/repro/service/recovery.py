@@ -198,3 +198,11 @@ class RecoveryCoordinator:
         cluster.last_recovery = report
         if report.failed_shards:
             cluster.recoveries += 1
+            cluster.events.record(
+                "recovery",
+                shards=list(report.failed_shards),
+                keys_re_replicated=report.keys_re_replicated,
+                copies_written=report.copies_written,
+                keys_lost=report.keys_lost,
+                duration_ms=report.duration_ms,
+            )

@@ -330,6 +330,14 @@ class TrafficSimulator:
         report.ops_per_shard = {shard_id: 0 for shard_id in self.cluster.shard_ids}
         report.busy_ms_per_shard = {shard_id: 0.0 for shard_id in self.cluster.shard_ids}
 
+        # Telemetry (when the cluster has it enabled): request metrics go to
+        # the cluster-level registry, and a baseline of each shard's registry
+        # operation counter lets hot-shard detection read per-run deltas from
+        # the registry instead of the report's private accounting.
+        registry = self.cluster.telemetry
+        request_hist = registry.histogram("request_latency_ms") if registry is not None else None
+        self._ops_baseline = self._registry_ops_per_shard()
+
         issued = 0
         next_event = 0
         while ready:
@@ -351,8 +359,14 @@ class TrafficSimulator:
                 # times out; the client retires it and moves on.
                 report.failed_requests += 1
                 client_report.finish_time_ms = client_time + spec.failure_timeout_ms
+                if registry is not None:
+                    registry.counter("requests_failed").inc()
             else:
                 latency = batch.makespan_ms
+                if registry is not None:
+                    registry.counter("requests_completed").inc()
+                    registry.counter("operations_completed").inc(batch.operations)
+                    request_hist.observe(latency)
                 client_report.requests += 1
                 client_report.operations += batch.operations
                 client_report.request_latencies_ms.append(latency)
@@ -390,6 +404,12 @@ class TrafficSimulator:
 
     def _fire_event(self, event: FailureEvent, report: TrafficReport) -> None:
         """Apply one scheduled fault action and record it in the report."""
+        self.cluster.events.record(
+            "schedule_fired",
+            action=event.action,
+            shard=event.shard_id,
+            at_request=event.at_request,
+        )
         if event.action == "fail":
             self.cluster.fail_shard(event.shard_id, mode=event.mode)
         elif event.action == "heal":
@@ -398,10 +418,31 @@ class TrafficSimulator:
             report.recovery_reports.append(self.recovery.recover())
         report.fired_events.append((event.at_request, event.action, event.shard_id))
 
+    def _registry_ops_per_shard(self) -> Dict[str, float]:
+        """Each shard's registry operation counter (empty without telemetry)."""
+        if self.cluster.telemetry is None:
+            return {}
+        return {
+            shard_id: clam.telemetry.counter("operations").value
+            for shard_id, clam in self.cluster.shards.items()
+            if clam.telemetry is not None
+        }
+
     def _detect_hot_shards(self, report: TrafficReport) -> List[str]:
-        # run() pre-seeds ops_per_shard with every serving shard, so the mean
-        # already reflects the whole fleet, idle shards included.
-        loads = report.ops_per_shard
+        if self.cluster.telemetry is not None:
+            # Telemetry-enabled clusters are judged on what each shard's own
+            # registry served during the run (the baseline subtracts warmup
+            # and earlier runs); this also counts read-repair and handoff
+            # work the report's batch accounting never sees.
+            baseline = getattr(self, "_ops_baseline", {})
+            loads = {
+                shard_id: operations - baseline.get(shard_id, 0.0)
+                for shard_id, operations in self._registry_ops_per_shard().items()
+            }
+        else:
+            # run() pre-seeds ops_per_shard with every serving shard, so the
+            # mean already reflects the whole fleet, idle shards included.
+            loads = report.ops_per_shard
         if not loads:
             return []
         mean = sum(loads.values()) / len(loads)

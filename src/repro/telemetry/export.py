@@ -1,0 +1,80 @@
+"""Snapshot envelope assembly and file export.
+
+Every telemetry consumer — ``--telemetry-out`` dumps, the ``telemetry`` key
+embedded in ``BENCH_*.json``, CI's schema check — shares one envelope shape,
+built here and described by ``telemetry_schema.json``:
+
+* ``registry``: the cluster-wide view (per-shard registries merged, plus any
+  cluster-level metrics such as request counters);
+* ``per_shard``: each shard's own registry, for the per-shard percentile
+  tables;
+* ``events``: the :class:`~repro.telemetry.events.EventLog` in sequence
+  order;
+* ``trace`` (optional): a :class:`~repro.telemetry.trace.Tracer` snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.telemetry.events import EventLog
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.trace import Tracer
+
+__all__ = ["SNAPSHOT_SCHEMA_VERSION", "build_snapshot", "write_snapshot"]
+
+SNAPSHOT_SCHEMA_VERSION = 1
+
+
+def build_snapshot(
+    registry: Optional[MetricsRegistry] = None,
+    per_shard: Optional[Dict[str, MetricsRegistry]] = None,
+    events: Optional[EventLog] = None,
+    tracer: Optional[Tracer] = None,
+    include_buckets: bool = True,
+    extra_registry: Optional[MetricsRegistry] = None,
+) -> Dict[str, object]:
+    """Assemble the standard snapshot envelope.
+
+    ``registry`` is the cluster-wide registry; when omitted it is derived by
+    merging ``per_shard`` (and ``extra_registry``, e.g. a cluster-level
+    registry holding request counters).  ``enabled`` reflects whether any
+    metrics were collected at all — an envelope from a telemetry-disabled run
+    still carries the always-on event log.
+    """
+    shards = per_shard or {}
+    if registry is None:
+        sources = [reg for reg in shards.values() if reg is not None]
+        if extra_registry is not None:
+            sources.append(extra_registry)
+        registry = MetricsRegistry.merged(sources)
+    elif extra_registry is not None:
+        merged = MetricsRegistry.merged([registry, extra_registry])
+        registry = merged
+    enabled = bool(shards) or any(registry.snapshot()["counters"]) or bool(
+        registry.snapshot()["histograms"]
+    )
+    snapshot: Dict[str, object] = {
+        "schema_version": SNAPSHOT_SCHEMA_VERSION,
+        "enabled": enabled,
+        "registry": registry.snapshot(include_buckets=include_buckets),
+        "per_shard": {
+            shard_id: reg.snapshot(include_buckets=include_buckets)
+            for shard_id, reg in sorted(shards.items())
+            if reg is not None
+        },
+        "events": events.snapshot() if events is not None else [],
+    }
+    if tracer is not None:
+        snapshot["trace"] = tracer.snapshot()
+    return snapshot
+
+
+def write_snapshot(path, snapshot: Dict[str, object]) -> Path:
+    """Write a snapshot envelope as indented JSON; returns the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(snapshot, indent=2, sort_keys=False) + "\n")
+    return target

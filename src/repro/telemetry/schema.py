@@ -1,0 +1,127 @@
+"""Telemetry snapshot schema and a dependency-free validator.
+
+The container bakes in no ``jsonschema`` package, so CI validates telemetry
+dumps with this minimal validator instead.  It implements exactly the JSON
+Schema subset ``telemetry_schema.json`` uses: ``type`` (scalar or union),
+``properties``/``required``/``additionalProperties``, ``items``, ``enum``,
+``minimum`` and ``$ref`` into ``#/$defs``.
+
+Run as a module to validate a dump from the command line::
+
+    python -m repro.telemetry.schema BENCH_telemetry.json
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List
+
+__all__ = ["SchemaError", "load_schema", "validate", "validate_snapshot"]
+
+_SCHEMA_PATH = Path(__file__).with_name("telemetry_schema.json")
+
+
+class SchemaError(ValueError):
+    """Raised when an instance does not conform to the schema."""
+
+
+def load_schema() -> Dict:
+    """The checked-in telemetry snapshot schema."""
+    return json.loads(_SCHEMA_PATH.read_text())
+
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def _resolve_ref(ref: str, root: Dict) -> Dict:
+    if not ref.startswith("#/"):
+        raise SchemaError(f"unsupported $ref target {ref!r} (only '#/...' is implemented)")
+    node = root
+    for part in ref[2:].split("/"):
+        if not isinstance(node, dict) or part not in node:
+            raise SchemaError(f"$ref {ref!r} does not resolve")
+        node = node[part]
+    return node
+
+
+def _check(instance, schema: Dict, root: Dict, path: str, errors: List[str]) -> None:
+    if "$ref" in schema:
+        _check(instance, _resolve_ref(schema["$ref"], root), root, path, errors)
+        return
+
+    expected = schema.get("type")
+    if expected is not None:
+        allowed = expected if isinstance(expected, list) else [expected]
+        if not any(_TYPE_CHECKS[name](instance) for name in allowed):
+            errors.append(f"{path}: expected type {'/'.join(allowed)}, got {type(instance).__name__}")
+            return
+
+    if "enum" in schema and instance not in schema["enum"]:
+        errors.append(f"{path}: {instance!r} not in enum {schema['enum']!r}")
+
+    if "minimum" in schema and isinstance(instance, (int, float)) and not isinstance(instance, bool):
+        if instance < schema["minimum"]:
+            errors.append(f"{path}: {instance!r} below minimum {schema['minimum']!r}")
+
+    if isinstance(instance, dict):
+        for key in schema.get("required", ()):
+            if key not in instance:
+                errors.append(f"{path}: missing required key {key!r}")
+        properties = schema.get("properties", {})
+        additional = schema.get("additionalProperties")
+        for key, value in instance.items():
+            child_path = f"{path}.{key}"
+            if key in properties:
+                _check(value, properties[key], root, child_path, errors)
+            elif isinstance(additional, dict):
+                _check(value, additional, root, child_path, errors)
+            elif additional is False:
+                errors.append(f"{path}: unexpected key {key!r}")
+
+    if isinstance(instance, list) and "items" in schema:
+        for index, item in enumerate(instance):
+            _check(item, schema["items"], root, f"{path}[{index}]", errors)
+
+
+def validate(instance, schema: Dict) -> None:
+    """Raise :class:`SchemaError` listing every violation, or return quietly."""
+    errors: List[str] = []
+    _check(instance, schema, schema, "$", errors)
+    if errors:
+        raise SchemaError("; ".join(errors))
+
+
+def validate_snapshot(snapshot: Dict) -> None:
+    """Validate a telemetry snapshot envelope against the checked-in schema."""
+    validate(snapshot, load_schema())
+
+
+def _main(argv: List[str]) -> int:
+    if len(argv) != 1:
+        print("usage: python -m repro.telemetry.schema SNAPSHOT.json")
+        return 2
+    payload = json.loads(Path(argv[0]).read_text())
+    # Accept either a bare snapshot or a BENCH_*.json record embedding one.
+    snapshot = payload.get("telemetry", payload) if isinstance(payload, dict) else payload
+    try:
+        validate_snapshot(snapshot)
+    except SchemaError as exc:
+        print(f"INVALID: {exc}")
+        return 1
+    print(f"OK: {argv[0]} conforms to the telemetry snapshot schema")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI subprocess
+    import sys
+
+    raise SystemExit(_main(sys.argv[1:]))

@@ -1,0 +1,227 @@
+"""Lightweight span tracing on the simulated clock.
+
+One WAN object transfer touches a branch clock, a cluster clock ensemble,
+per-shard device clocks and the flash devices underneath — this module ties
+those into a single causal tree: a ``trace_id`` shared by every span of one
+root operation, ``span_id``/``parent_id`` links for the tree shape, and
+start/end times read from whichever simulated clock the instrumented layer
+runs on.
+
+Instrumentation sites pay for tracing **only when a tracer is installed**:
+the module-level :data:`ACTIVE` is ``None`` by default and every hook is
+guarded by ``if _trace.ACTIVE is not None`` — one module attribute read and
+one identity check on the hot path, nothing else.  The tracer itself is
+synchronous and single-threaded (like the simulation), so parent context is
+a plain stack rather than thread-locals.
+
+Typical use::
+
+    tracer = Tracer()
+    with tracing(tracer):
+        topology.process_branch_object("branch-0", obj)
+    tree = tracer.span_tree()   # branch.object -> cluster.batch -> shard.batch -> ...
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["ACTIVE", "Span", "Tracer", "tracing"]
+
+
+class Span:
+    """One timed node of a trace tree.
+
+    ``start_ms``/``end_ms`` are readings of the clock the instrumented code
+    runs on (simulated milliseconds); spans from different clock domains keep
+    their own time base, with the owning clock named in ``attributes`` when
+    the instrumentation site provides it.
+    """
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "start_ms", "end_ms", "attributes")
+
+    def __init__(
+        self,
+        trace_id: int,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        start_ms: float,
+    ) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start_ms = start_ms
+        self.end_ms = start_ms
+        self.attributes: Dict[str, object] = {}
+
+    @property
+    def duration_ms(self) -> float:
+        return self.end_ms - self.start_ms
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_ms": self.start_ms,
+            "end_ms": self.end_ms,
+            "duration_ms": self.duration_ms,
+            "attributes": dict(self.attributes),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, trace={self.trace_id}, id={self.span_id}, "
+            f"parent={self.parent_id}, {self.start_ms:.3f}..{self.end_ms:.3f}ms)"
+        )
+
+
+def _now(clock) -> float:
+    """Read a simulated clock; tolerate clock-less call sites (tests, stubs)."""
+    return clock.now_ms if clock is not None else 0.0
+
+
+class Tracer:
+    """Collects spans; parenthood follows the open-span stack.
+
+    Span and trace ids are small deterministic integers (the simulation is
+    deterministic, so traces diff cleanly across runs).  A span opened while
+    no other span is open starts a **new trace**; everything opened inside it
+    shares its ``trace_id``.
+    """
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+        self._next_span_id = 1
+        self._next_trace_id = 1
+
+    # -- Recording --------------------------------------------------------------------
+
+    def begin(self, name: str, clock=None, **attributes) -> Span:
+        """Open a span; it becomes the parent of spans begun before its end."""
+        if self._stack:
+            parent = self._stack[-1]
+            trace_id = parent.trace_id
+            parent_id: Optional[int] = parent.span_id
+        else:
+            trace_id = self._next_trace_id
+            self._next_trace_id += 1
+            parent_id = None
+        span = Span(trace_id, self._next_span_id, parent_id, name, _now(clock))
+        self._next_span_id += 1
+        if attributes:
+            span.attributes.update(attributes)
+        self.spans.append(span)
+        self._stack.append(span)
+        return span
+
+    def end(self, span: Span, clock=None) -> None:
+        """Close ``span`` (and any forgotten children still open under it)."""
+        span.end_ms = max(span.start_ms, _now(clock))
+        while self._stack:
+            open_span = self._stack.pop()
+            if open_span is span:
+                break
+
+    @contextmanager
+    def span(self, name: str, clock=None, **attributes) -> Iterator[Span]:
+        """Context-manager convenience around :meth:`begin`/:meth:`end`."""
+        opened = self.begin(name, clock, **attributes)
+        try:
+            yield opened
+        finally:
+            self.end(opened, clock)
+
+    def event(self, name: str, clock=None, duration_ms: float = 0.0, **attributes) -> Span:
+        """Record a leaf span for work that already happened.
+
+        Device I/O advances its clock before the hook runs, so the event's
+        window is ``[now - duration_ms, now]`` on that clock.
+        """
+        end_ms = _now(clock)
+        parent = self._stack[-1] if self._stack else None
+        if parent is not None:
+            trace_id = parent.trace_id
+            parent_id: Optional[int] = parent.span_id
+        else:
+            trace_id = self._next_trace_id
+            self._next_trace_id += 1
+            parent_id = None
+        span = Span(trace_id, self._next_span_id, parent_id, name, end_ms - duration_ms)
+        self._next_span_id += 1
+        span.end_ms = end_ms
+        if attributes:
+            span.attributes.update(attributes)
+        self.spans.append(span)
+        return span
+
+    @property
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    # -- Querying ---------------------------------------------------------------------
+
+    def roots(self) -> List[Span]:
+        return [span for span in self.spans if span.parent_id is None]
+
+    def children(self, span: Span) -> List[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def descendants(self, span: Span) -> List[Span]:
+        """Every span strictly below ``span`` in its tree."""
+        found: List[Span] = []
+        frontier = [span]
+        by_parent: Dict[int, List[Span]] = {}
+        for candidate in self.spans:
+            if candidate.parent_id is not None:
+                by_parent.setdefault(candidate.parent_id, []).append(candidate)
+        while frontier:
+            node = frontier.pop()
+            for child in by_parent.get(node.span_id, ()):
+                found.append(child)
+                frontier.append(child)
+        return found
+
+    def find(self, name: str) -> List[Span]:
+        return [span for span in self.spans if span.name == name]
+
+    def span_tree(self) -> List[Dict[str, object]]:
+        """Nested dict view of every trace, roots first (JSON-exportable)."""
+        nodes = {span.span_id: dict(span.to_dict(), children=[]) for span in self.spans}
+        trees: List[Dict[str, object]] = []
+        for span in self.spans:
+            node = nodes[span.span_id]
+            if span.parent_id is not None and span.parent_id in nodes:
+                nodes[span.parent_id]["children"].append(node)
+            else:
+                trees.append(node)
+        return trees
+
+    def snapshot(self) -> Dict[str, object]:
+        """Flat span list plus the nested tree, for ``--telemetry-out`` dumps."""
+        return {
+            "spans": [span.to_dict() for span in self.spans],
+            "trees": self.span_tree(),
+        }
+
+
+#: The installed tracer, or ``None`` (the default: tracing fully disabled).
+#: Hot paths read this exactly once per operation.
+ACTIVE: Optional[Tracer] = None
+
+
+@contextmanager
+def tracing(tracer: Tracer) -> Iterator[Tracer]:
+    """Install ``tracer`` as :data:`ACTIVE` for the duration of the block."""
+    global ACTIVE
+    previous = ACTIVE
+    ACTIVE = tracer
+    try:
+        yield tracer
+    finally:
+        ACTIVE = previous

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Protocol, Sequence, Tuple, runtime_checkable
 
 from repro.core.results import InsertResult, LookupResult
+from repro.telemetry import trace as _trace
 from repro.wanopt.cache import ContentCache
 from repro.wanopt.traces import TraceObject
 
@@ -187,6 +188,25 @@ class CompressionEngine:
         for the remote side.  When a resource shares ``clock`` (the classic
         single-box setup) nothing is double-counted.
         """
+        tracer = _trace.ACTIVE
+        if tracer is None:
+            return self._process_object_batched(obj, clock)
+        span = tracer.begin(
+            "wanopt.object",
+            clock if clock is not None else getattr(self.index, "clock", None),
+            object_id=obj.object_id,
+            chunks=obj.num_chunks,
+            original_bytes=obj.size_bytes,
+        )
+        try:
+            result = self._process_object_batched(obj, clock)
+        finally:
+            tracer.end(span, clock if clock is not None else getattr(self.index, "clock", None))
+        span.attributes["chunks_matched"] = result.chunks_matched
+        span.attributes["compressed_bytes"] = result.compressed_bytes
+        return result
+
+    def _process_object_batched(self, obj: TraceObject, clock=None) -> ObjectCompressionResult:
         result = ObjectCompressionResult(
             object_id=obj.object_id,
             original_bytes=obj.size_bytes,

@@ -46,6 +46,7 @@ from repro.flashsim.disk import MagneticDisk
 from repro.service.cluster import ClusterService
 from repro.service.recovery import RecoveryCoordinator, RecoveryReport
 from repro.service.simulator import FailureEvent
+from repro.telemetry import trace as _trace
 from repro.wanopt.cache import ContentCache
 from repro.wanopt.engine import (
     CompressionEngine,
@@ -274,6 +275,12 @@ class MultiBranchTopology:
         marked down.
         """
         cluster = self.cluster
+        cluster.events.record(
+            "schedule_fired",
+            action=event.action,
+            shard=event.shard_id,
+            at_request=event.at_request,
+        )
         if event.action == "fail":
             cluster.fail_shard(event.shard_id, mode=event.mode)
             return None
@@ -301,9 +308,31 @@ class MultiBranchTopology:
         """
         self.objects_total += 1
         branch.objects_processed += 1
+        tracer = _trace.ACTIVE
+        span = (
+            tracer.begin(
+                "branch.transfer",
+                branch.clock,
+                branch=branch.branch_id,
+                object_id=obj.object_id,
+            )
+            if tracer is not None
+            else None
+        )
+        try:
+            return self._process_branch_object(branch, obj, span)
+        finally:
+            if span is not None:
+                tracer.end(span, branch.clock)
+
+    def _process_branch_object(
+        self, branch: BranchOffice, obj: TraceObject, span
+    ) -> BranchObjectOutcome:
         try:
             result = branch.engine.process_object_batched(obj, clock=branch.clock)
         except ShardUnavailableError:
+            if span is not None:
+                span.attributes["pass_through"] = True
             branch.pass_through_objects += 1
             self.objects_pass_through += 1
             for chunk in obj.chunks:
