@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Durable CLAM on a file-backed flash device: power cuts and crash recovery.
+
+Run with::
+
+    python examples/durable_clam.py
+
+Demonstrates the durability layer: a :class:`~repro.core.recovery.DurableCLAM`
+persisting to a single device file (`repro.flashsim.persistent`), a simulated
+power cut torn mid-flush via the device fault injector, and the CLAM crash
+recovery that reopens the file with every acknowledged write intact — plus
+an honest report of what the cut may have cost (DRAM-buffered writes).
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.core import CLAMConfig, DurableCLAM, PowerLossError
+from repro.core.errors import DeviceFailedError
+from repro.flashsim.device import DeviceGeometry
+
+GEOM = DeviceGeometry(page_size=2048, pages_per_block=16, num_blocks=48)
+CONFIG = CLAMConfig(
+    num_super_tables=4,
+    buffer_capacity_items=32,
+    incarnations_per_table=8,
+    checkpoint_interval_flushes=8,  # checkpoint every 8th incarnation flush
+)
+
+
+def create_and_close_cleanly(path: Path) -> None:
+    print("=== Create, fill, close cleanly ===")
+    with DurableCLAM(path, config=CONFIG, geometry=GEOM) as clam:
+        for i in range(600):
+            clam.insert(b"key-%04d" % i, b"value-%04d" % i)
+        print(f"wrote 600 keys to {path.name}")
+    with DurableCLAM(path, geometry=GEOM) as clam:  # config read from superblock
+        report = clam.recovery_report
+        print(
+            f"reopen: clean_shutdown={report.clean_shutdown}, "
+            f"checkpoint_seq={report.checkpoint_seq}, "
+            f"recovered in {report.recovery_io_ms:.3f} simulated ms"
+        )
+        assert clam.lookup(b"key-0042").value == b"value-0042"
+    print()
+
+
+def power_cut_and_recover(path: Path) -> None:
+    print("=== Power cut mid-workload ===")
+    clam = DurableCLAM(path, geometry=GEOM)
+    clam.persistent_device.faults.crash_after_n_ios(25)  # dies 25 page-I/Os in
+    survived = 0
+    try:
+        for i in range(600, 1_200):
+            clam.insert(b"key-%04d" % i, b"value-%04d" % i)
+            survived = i + 1
+    except (PowerLossError, DeviceFailedError):
+        print(f"power lost during insert #{survived} — device is dead")
+    clam.close()  # the crashed handle can only release the file
+
+    with DurableCLAM(path, geometry=GEOM) as clam:
+        report = clam.recovery_report
+        print(
+            f"recovery: clean_shutdown={report.clean_shutdown}, "
+            f"torn_pages_discarded={report.torn_pages_discarded}, "
+            f"log_records_replayed={report.log_records_replayed}, "
+            f"entries_rebuilt={report.entries_rebuilt}"
+        )
+        if report.may_have_lost_buffered_writes:
+            print("writes still buffered in DRAM at the cut were lost (as reported)")
+        # Every write acknowledged before the cut is still readable.
+        assert clam.lookup(b"key-0042").value == b"value-0042"
+        recovered = sum(
+            1 for i in range(1_200) if clam.lookup(b"key-%04d" % i).found
+        )
+        print(f"{recovered} keys readable after recovery; CLAM is fully usable:")
+        clam.insert(b"post-recovery", b"works")
+        print(f"  post-recovery insert/lookup: {clam.lookup(b'post-recovery').value!r}")
+    print()
+
+
+if __name__ == "__main__":
+    with tempfile.TemporaryDirectory(prefix="durable-clam-") as tmp:
+        device_file = Path(tmp) / "example.clam"
+        create_and_close_cleanly(device_file)
+        power_cut_and_recover(device_file)

@@ -17,11 +17,21 @@ from repro.core.buffer import Buffer
 from repro.core.clam import CLAM, build_device, STORAGE_PROFILES
 from repro.core.config import CLAMConfig, MemoryCostModel
 from repro.core.cuckoo import CuckooHashTable
+from repro.core.durable import (
+    CheckpointRegion,
+    CheckpointState,
+    DurableLogStore,
+    read_superblock,
+    serialize_checkpoint,
+    write_superblock,
+)
 from repro.core.errors import (
     BufferHashError,
     CapacityError,
     ConfigurationError,
     KeyTooLargeError,
+    PowerLossError,
+    TornPageError,
 )
 from repro.core.eviction import (
     EvictionContext,
@@ -41,6 +51,7 @@ from repro.core.hashing import (
     to_key_bytes,
 )
 from repro.core.incarnation import IncarnationHandle, build_pages, search_page
+from repro.core.recovery import CrashRecoveryReport, DurableCLAM
 from repro.core.results import (
     DeleteResult,
     FlushResult,
@@ -71,10 +82,20 @@ __all__ = [
     "CLAMConfig",
     "MemoryCostModel",
     "CuckooHashTable",
+    "CheckpointRegion",
+    "CheckpointState",
+    "DurableLogStore",
+    "read_superblock",
+    "serialize_checkpoint",
+    "write_superblock",
     "BufferHashError",
     "CapacityError",
     "ConfigurationError",
     "KeyTooLargeError",
+    "PowerLossError",
+    "TornPageError",
+    "CrashRecoveryReport",
+    "DurableCLAM",
     "EvictionContext",
     "EvictionPolicy",
     "FIFOEviction",

@@ -137,6 +137,24 @@ class BloomFilter:
         clone._count = self._count
         return clone
 
+    def to_bytes(self) -> bytes:
+        """The raw bit array (checkpoint serialisation)."""
+        return bytes(self._bits)
+
+    @classmethod
+    def from_bytes(
+        cls, num_bits: int, num_hashes: int, data: bytes, item_count: int = 0
+    ) -> "BloomFilter":
+        """Rebuild a filter from :meth:`to_bytes` output (crash recovery)."""
+        clone = cls(num_bits, num_hashes)
+        if len(data) != len(clone._bits):
+            raise ValueError(
+                f"bit array of {len(data)} bytes does not match num_bits={num_bits}"
+            )
+        clone._bits = bytearray(data)
+        clone._count = item_count
+        return clone
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"BloomFilter(num_bits={self.num_bits}, num_hashes={self.num_hashes}, "

@@ -102,6 +102,7 @@ class CLAM:
         clock: Optional[SimulationClock] = None,
         eviction_policy: Optional[EvictionPolicy] = None,
         keep_latency_samples: bool = True,
+        store=None,
     ) -> None:
         self.config = config if config is not None else CLAMConfig.scaled()
         if isinstance(storage, (list, tuple)):
@@ -153,6 +154,7 @@ class CLAM:
                 device=self.devices if len(self.devices) > 1 else self.device,
                 clock=self.clock,
                 eviction_policy=eviction_policy,
+                store=store,
             )
         else:
             self.bufferhash = None

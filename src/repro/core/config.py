@@ -93,6 +93,12 @@ class CLAMConfig:
         ``benchmarks/bench_hotpath.py``.
     eviction_policy_name:
         One of ``fifo``, ``lru``, ``update``, ``priority``.
+    checkpoint_interval_flushes:
+        Durable CLAMs only (:class:`~repro.core.recovery.DurableCLAM`): write
+        a recovery checkpoint after this many buffer flushes, so reopening
+        replays just the log suffix instead of cold-rebuilding every
+        incarnation.  ``None`` (the default) checkpoints only on clean close;
+        ignored entirely by in-memory CLAMs.
     """
 
     num_super_tables: int = 16
@@ -108,6 +114,7 @@ class CLAMConfig:
     use_hash_once: bool = True
     telemetry_enabled: bool = False
     eviction_policy_name: str = "fifo"
+    checkpoint_interval_flushes: Optional[int] = None
     memory_cost: MemoryCostModel = field(default_factory=MemoryCostModel)
 
     def __post_init__(self) -> None:
@@ -127,6 +134,8 @@ class CLAMConfig:
             raise ConfigurationError(
                 f"unknown eviction policy {self.eviction_policy_name!r}"
             )
+        if self.checkpoint_interval_flushes is not None and self.checkpoint_interval_flushes <= 0:
+            raise ConfigurationError("checkpoint_interval_flushes must be positive")
 
     # -- Derived quantities ------------------------------------------------------
 

@@ -26,6 +26,25 @@ class DeviceFailedError(BufferHashError):
     is deterministically injecting errors (see :mod:`repro.flashsim.faults`)."""
 
 
+class PowerLossError(DeviceFailedError):
+    """Raised when a simulated power cut interrupts an I/O mid-operation.
+
+    Armed via :meth:`repro.flashsim.faults.FaultInjector.crash_after_n_ios`;
+    the interrupted operation may leave durable side effects behind (a torn
+    page that fails its CRC, a half-erased block) on devices that model them
+    (see :mod:`repro.flashsim.persistent`).  Subclasses
+    :class:`DeviceFailedError` so the service layer's failure handling treats
+    a power-cut shard exactly like a crash-stopped one."""
+
+
+class TornPageError(BufferHashError):
+    """Raised when reading a page whose on-media frame fails its CRC check —
+    either a write was interrupted mid-page (torn write) or the containing
+    block's erase was interrupted (the block reads as erased-dirty until it
+    is erased again).  Only file-backed devices can produce this; recovery
+    (:mod:`repro.core.recovery`) discards such pages instead of reading them."""
+
+
 class ShardUnavailableError(BufferHashError):
     """Raised by the service layer when an operation has no live replica left
     to run on — every shard in the key's preference list is failed or has been

@@ -17,7 +17,7 @@ The super table is where all of BufferHash's mechanisms meet:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.bloom import BloomFilter
 from repro.core.buffer import Buffer
@@ -432,6 +432,66 @@ class SuperTable:
             if bloom is not None and key in bloom:
                 return True
         return False
+
+    # -- Crash recovery (used by repro.core.durable / repro.core.recovery) ------------------
+
+    @property
+    def incarnation_handles(self) -> Tuple[IncarnationHandle, ...]:
+        """Live incarnation handles, oldest first (checkpoint serialisation)."""
+        return tuple(self._incarnations)
+
+    @property
+    def next_incarnation_id(self) -> int:
+        """Identifier the next flushed incarnation will receive."""
+        return self._next_incarnation_id
+
+    def filter_for(self, incarnation_id: int) -> BloomFilter:
+        """The Bloom filter of one live incarnation (checkpoint serialisation)."""
+        return self._filters[incarnation_id]
+
+    def delete_list_snapshot(self) -> Tuple[bytes, ...]:
+        """Current lazy-delete entries (checkpoint serialisation)."""
+        return tuple(self._delete_list)
+
+    def advance_incarnation_counter(self, next_id: int) -> None:
+        """Ensure future incarnation ids start at ``next_id`` or later.
+
+        Recovery calls this with the checkpointed counter so ids stay
+        monotonic even when the newest incarnations were evicted (and thus
+        are not re-registered) before the crash.
+        """
+        self._next_incarnation_id = max(self._next_incarnation_id, next_id)
+
+    def restore_incarnation(self, handle: IncarnationHandle, bloom: BloomFilter) -> None:
+        """Re-register an on-flash incarnation after a crash or reopen.
+
+        Must be called oldest-first per table (ascending ``incarnation_id``),
+        matching the order :meth:`flush` created them; ``bloom`` is the
+        incarnation's signature filter, either deserialised from a checkpoint
+        or rebuilt by re-reading the incarnation's pages.
+        """
+        if bloom.num_bits != self.buffer.bloom_bits or bloom.num_hashes != self.buffer.bloom_hashes:
+            raise ConfigurationError(
+                "restored Bloom filter geometry does not match the configuration"
+            )
+        if self._incarnations and handle.incarnation_id <= self._incarnations[-1].incarnation_id:
+            raise ConfigurationError(
+                "incarnations must be restored oldest-first "
+                f"(got id {handle.incarnation_id} after {self._incarnations[-1].incarnation_id})"
+            )
+        if len(self._incarnations) >= self.max_incarnations:
+            raise ConfigurationError(
+                f"cannot restore more than max_incarnations={self.max_incarnations}"
+            )
+        self._incarnations.append(handle)
+        self._by_id[handle.incarnation_id] = handle
+        self._filters[handle.incarnation_id] = bloom
+        self._sliced.append_filter(bloom, handle.incarnation_id)
+        self._next_incarnation_id = max(self._next_incarnation_id, handle.incarnation_id + 1)
+
+    def restore_delete_list(self, keys: Iterable[bytes]) -> None:
+        """Reload the lazy delete list from a checkpoint."""
+        self._delete_list.update(bytes(key) for key in keys)
 
     # -- Bulk iteration (used by dedup merge and tests) -------------------------------------
 

@@ -46,6 +46,13 @@ from repro.flashsim.ssd import SSD, SSDProfile, INTEL_SSD_PROFILE, TRANSCEND_SSD
 from repro.flashsim.flash_chip import GENERIC_FLASH_CHIP_PROFILE, FlashChipProfile
 from repro.flashsim.disk import MagneticDisk, DiskProfile, MAGNETIC_DISK_PROFILE
 from repro.flashsim.dram import DRAMDevice, DRAM_PROFILE, DRAMProfile
+from repro.flashsim.persistent import (
+    FlashLayout,
+    FlashPartition,
+    PageState,
+    PersistentFlashDevice,
+    PERSISTENT_GEOMETRY,
+)
 
 __all__ = [
     "ClockEnsemble",
@@ -74,4 +81,9 @@ __all__ = [
     "DRAMDevice",
     "DRAMProfile",
     "DRAM_PROFILE",
+    "FlashLayout",
+    "FlashPartition",
+    "PageState",
+    "PersistentFlashDevice",
+    "PERSISTENT_GEOMETRY",
 ]

@@ -14,6 +14,7 @@ import abc
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.core.errors import PowerLossError
 from repro.flashsim.clock import SimulationClock
 from repro.flashsim.faults import FaultInjector
 from repro.flashsim.stats import IOEvent, IOKind, IOStats
@@ -120,6 +121,44 @@ class StorageDevice(abc.ABC):
             return False
         return page_index == previous + 1
 
+    # -- Power-loss handling ---------------------------------------------------
+
+    def _power_cut(self, units: int, kind: str) -> Optional[int]:
+        """Advance an armed power-cut countdown by ``units`` I/O units.
+
+        Returns the unit index at which power failed, or ``None``.  Split out
+        so the common case (no countdown armed) stays one attribute check.
+        """
+        faults = self.faults
+        if not faults.power_cut_armed:
+            return None
+        return faults.consume_io_units(units, kind)
+
+    def _apply_torn_write(self, page_index: int, data: bytes) -> None:
+        """Durable side effect of a write interrupted mid-page.
+
+        In-memory devices have no durable media, so the interrupted write
+        simply never lands; file-backed devices override this to leave a
+        partially programmed frame that fails its CRC on reopen (see
+        :class:`repro.flashsim.persistent.PersistentFlashDevice`).
+        """
+
+    # -- Lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release any resources the device holds.
+
+        In-memory devices hold none, so this is a no-op; file-backed devices
+        override it to flush and unmap their backing file deterministically.
+        Safe to call more than once.
+        """
+
+    def __enter__(self) -> "StorageDevice":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     # -- Recording helpers -----------------------------------------------------
 
     def _record(self, kind: IOKind, nbytes: int, latency_ms: float, sequential: bool) -> None:
@@ -153,6 +192,10 @@ class StorageDevice(abc.ABC):
         self._check_page(page_index)
         sequential = self._is_sequential(page_index)
         latency = self.faults.check(self._read_latency(self.geometry.page_size, sequential))
+        if self._power_cut(1, "read") is not None:
+            raise PowerLossError(
+                f"power lost during read of page {page_index} on device {self.name!r}"
+            )
         self._record(IOKind.READ, self.geometry.page_size, latency, sequential)
         return self._load_page(page_index), latency
 
@@ -169,6 +212,11 @@ class StorageDevice(abc.ABC):
         else:
             self._last_accessed_page = page_index
         latency = self.faults.check(self._write_latency(self.geometry.page_size, sequential))
+        if self._power_cut(1, "write") is not None:
+            self._apply_torn_write(page_index, bytes(data))
+            raise PowerLossError(
+                f"power lost mid-write of page {page_index} on device {self.name!r}"
+            )
         self._record(IOKind.WRITE, self.geometry.page_size, latency, sequential)
         self._store_page(page_index, data)
         return latency
@@ -181,6 +229,11 @@ class StorageDevice(abc.ABC):
         self._check_page(start_page + num_pages - 1)
         nbytes = num_pages * self.geometry.page_size
         latency = self.faults.check(self._read_latency(nbytes, sequential=True))
+        if self._power_cut(num_pages, "read") is not None:
+            raise PowerLossError(
+                f"power lost during streaming read at page {start_page} "
+                f"on device {self.name!r}"
+            )
         self._record(IOKind.READ, nbytes, latency, sequential=True)
         self._last_accessed_page = start_page + num_pages - 1
         return [self._load_page(start_page + i) for i in range(num_pages)], latency
@@ -193,6 +246,17 @@ class StorageDevice(abc.ABC):
         self._check_page(start_page + len(pages) - 1)
         nbytes = len(pages) * self.geometry.page_size
         latency = self.faults.check(self._write_latency(nbytes, sequential=True))
+        cut = self._power_cut(len(pages), "write")
+        if cut is not None:
+            # Pages before the cut completed and are durable; the cut page is
+            # left torn (on devices that model torn pages).
+            for offset in range(cut):
+                self._store_page(start_page + offset, pages[offset])
+            self._apply_torn_write(start_page + cut, bytes(pages[cut]))
+            raise PowerLossError(
+                f"power lost mid-write of page {start_page + cut} "
+                f"(streaming write at page {start_page}) on device {self.name!r}"
+            )
         self._record(IOKind.WRITE, nbytes, latency, sequential=True)
         for offset, data in enumerate(pages):
             self._store_page(start_page + offset, data)

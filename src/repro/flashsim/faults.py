@@ -8,9 +8,22 @@ is a no-op; a faulted one can
   :class:`~repro.core.errors.DeviceFailedError` until :meth:`heal`),
 * inject **intermittent I/O errors** at a configured rate, drawn from a
   seeded RNG so a given ``(seed, error_rate)`` pair always fails the exact
-  same sequence of I/Os, or
+  same sequence of I/Os,
 * **degrade** the device, multiplying and/or padding each operation's latency
-  without failing it (a sick-but-alive replica).
+  without failing it (a sick-but-alive replica), or
+* arm a deterministic **power cut** (:meth:`crash_after_n_ios`): the n-th
+  subsequent I/O unit is interrupted *mid-operation*.  The injector then
+  transitions into :attr:`FaultMode.TORN_WRITE` (power failed during a page
+  write — the page is left partially programmed and fails its CRC),
+  :attr:`FaultMode.INTERRUPTED_ERASE` (power failed during a block erase —
+  the block reads as erased-dirty until re-erased) or
+  :attr:`FaultMode.POWER_LOST` (any other I/O), and every later I/O raises
+  like a crash-stop.  Devices consume the countdown through
+  :meth:`consume_io_units` at page granularity, so *every* I/O boundary —
+  including each page inside a streaming write and each block erase — is a
+  reachable crash point for the recovery test sweep.  Durable side effects
+  of the interrupted operation are modeled by the device itself (see
+  :mod:`repro.flashsim.persistent`).
 
 The injector is the mechanism underneath shard failure in the service layer:
 :meth:`repro.service.cluster.ClusterService.fail_shard` crashes a shard's
@@ -37,6 +50,18 @@ class FaultMode(enum.Enum):
     CRASHED = "crashed"
     IO_ERRORS = "io-errors"
     DEGRADED = "degraded"
+    #: Power was cut mid-page-write; the page is torn (fails CRC on reopen).
+    TORN_WRITE = "torn-write"
+    #: Power was cut mid-block-erase; the block is erased-dirty until re-erased.
+    INTERRUPTED_ERASE = "interrupted-erase"
+    #: Power was cut between I/Os (or during a read, which has no side effect).
+    POWER_LOST = "power-lost"
+
+
+#: Modes in which the device refuses every I/O until healed/reopened.
+_DEAD_MODES = frozenset(
+    {FaultMode.CRASHED, FaultMode.TORN_WRITE, FaultMode.INTERRUPTED_ERASE, FaultMode.POWER_LOST}
+)
 
 
 class FaultInjector:
@@ -63,6 +88,8 @@ class FaultInjector:
         self.faulted_ios = 0
         #: I/Os that went through while the device was degraded.
         self.degraded_ios = 0
+        #: Remaining I/O units until the armed power cut fires (None = unarmed).
+        self._power_countdown: Optional[int] = None
 
     # -- State transitions -----------------------------------------------------
 
@@ -90,12 +117,61 @@ class FaultInjector:
         self.extra_latency_ms = extra_latency_ms
         self.mode = FaultMode.DEGRADED
 
+    def crash_after_n_ios(self, n: int) -> None:
+        """Arm a deterministic power cut interrupting the ``n``-th I/O unit.
+
+        ``n`` counts device I/O units from now: page reads and writes are one
+        unit each, a streaming read/write of ``k`` pages is ``k`` units (so a
+        cut can land on any page inside it), a block erase is one unit.  The
+        unit the countdown lands on is interrupted *mid-operation* with
+        :class:`~repro.core.errors.PowerLossError` — partially applied, on
+        devices that model torn pages — and the injector stays dead (every
+        later I/O raises) until :meth:`heal` or, for file-backed devices, a
+        reopen of the underlying file.
+        """
+        if n < 1:
+            raise ValueError("n must be at least 1")
+        self._power_countdown = n
+
+    def consume_io_units(self, units: int, kind: str = "read") -> Optional[int]:
+        """Advance the power-cut countdown by ``units``; called by devices.
+
+        Returns ``None`` while power stays on.  When the armed countdown
+        expires inside this operation, returns the 0-based unit index at
+        which power failed (the caller applies partial effects up to that
+        index and raises :class:`~repro.core.errors.PowerLossError`), and the
+        injector transitions to the power-off mode matching ``kind``
+        (``"write"`` → :attr:`FaultMode.TORN_WRITE`, ``"erase"`` →
+        :attr:`FaultMode.INTERRUPTED_ERASE`, else
+        :attr:`FaultMode.POWER_LOST`).
+        """
+        remaining = self._power_countdown
+        if remaining is None:
+            return None
+        if remaining > units:
+            self._power_countdown = remaining - units
+            return None
+        self._power_countdown = None
+        if kind == "write":
+            self.mode = FaultMode.TORN_WRITE
+        elif kind == "erase":
+            self.mode = FaultMode.INTERRUPTED_ERASE
+        else:
+            self.mode = FaultMode.POWER_LOST
+        return remaining - 1
+
+    @property
+    def power_cut_armed(self) -> bool:
+        """Whether a :meth:`crash_after_n_ios` countdown is pending."""
+        return self._power_countdown is not None
+
     def heal(self) -> None:
         """Return to healthy operation (counters are preserved)."""
         self.mode = FaultMode.HEALTHY
         self.error_rate = 0.0
         self.latency_multiplier = 1.0
         self.extra_latency_ms = 0.0
+        self._power_countdown = None
 
     # -- Introspection ---------------------------------------------------------
 
@@ -106,8 +182,13 @@ class FaultInjector:
 
     @property
     def is_crashed(self) -> bool:
-        """Whether the device is crash-stopped."""
-        return self.mode is FaultMode.CRASHED
+        """Whether the device is dead (crash-stopped or powered off).
+
+        A power-cut device (any of the three power-off modes) refuses I/O
+        exactly like a crash-stopped one; the distinct modes only record *how*
+        it died, which recovery inspects to model the interrupted operation.
+        """
+        return self.mode in _DEAD_MODES
 
     # -- The hook devices call -------------------------------------------------
 
@@ -120,9 +201,11 @@ class FaultInjector:
         """
         if self.mode is FaultMode.HEALTHY:
             return latency_ms
-        if self.mode is FaultMode.CRASHED:
+        if self.mode in _DEAD_MODES:
             self.faulted_ios += 1
-            raise DeviceFailedError(f"device {self.device_name!r} has crash-stopped")
+            raise DeviceFailedError(
+                f"device {self.device_name!r} is dead ({self.mode.value})"
+            )
         if self.mode is FaultMode.IO_ERRORS:
             if self._rng.random() < self.error_rate:
                 self.faulted_ios += 1

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.core.errors import PowerLossError
 from repro.flashsim.clock import SimulationClock
 from repro.flashsim.device import DeviceGeometry, StorageDevice
 from repro.flashsim.latency import IOCost, LinearCostModel
@@ -107,7 +108,12 @@ class FlashChip(StorageDevice):
             raise IndexError(
                 f"block {block_index} out of range (num_blocks={self.geometry.num_blocks})"
             )
-        latency = self._cost_model.erase_cost(self.geometry.block_size)
+        latency = self.faults.check(self._cost_model.erase_cost(self.geometry.block_size))
+        if self._power_cut(1, "erase") is not None:
+            self._apply_interrupted_erase(block_index)
+            raise PowerLossError(
+                f"power lost mid-erase of block {block_index} on device {self.name!r}"
+            )
         self._record(IOKind.ERASE, self.geometry.block_size, latency, sequential=False)
         start = block_index * self.geometry.pages_per_block
         for page in range(start, start + self.geometry.pages_per_block):
@@ -117,6 +123,15 @@ class FlashChip(StorageDevice):
             self.erase_count_per_block.get(block_index, 0) + 1
         )
         return latency
+
+    def _apply_interrupted_erase(self, block_index: int) -> None:
+        """Durable side effect of an erase interrupted mid-block.
+
+        The in-memory chip has no durable media: the block simply keeps its
+        pre-erase contents (and stays dirty, so the erase must be retried
+        after :meth:`heal`).  File-backed devices override this to mark every
+        frame in the block erased-dirty so reopen sees the half-erased state.
+        """
 
     def write_page(self, page_index: int, data: bytes, sequential: Optional[bool] = None) -> float:
         """Program one page; the page must be clean (erased)."""

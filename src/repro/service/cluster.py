@@ -30,9 +30,11 @@ imbalance factor) and the fleet's failure/recovery health
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.clam import CLAM
+from repro.core.recovery import CrashRecoveryReport, DurableCLAM
 from repro.core.config import CLAMConfig
 from repro.core.errors import (
     ConfigurationError,
@@ -181,7 +183,15 @@ class ClusterService:
         Per-shard :class:`CLAMConfig` (each shard gets the full config; size
         the buffers accordingly).  Defaults to :meth:`CLAMConfig.scaled`.
     storage:
-        Storage profile name used for every shard's private device.
+        Storage profile name used for every shard's private device, or
+        ``"persistent"`` to build each shard as a
+        :class:`~repro.core.recovery.DurableCLAM` on a file-backed device
+        under ``data_dir`` (one ``<shard_id>.clam`` file per shard).
+        Persistent shards survive power cuts: see :meth:`fail_shard`'s
+        ``"power-cut"`` mode and :meth:`reopen_shard`.
+    data_dir:
+        Directory holding the shard files when ``storage="persistent"``
+        (created if missing; required for that storage, rejected otherwise).
     virtual_nodes:
         Consistent-hash virtual nodes per shard.
     dispatch_overhead_ms / routing_cost_ms:
@@ -214,6 +224,7 @@ class ClusterService:
         replication_factor: int = 1,
         failure_threshold: int = 1,
         track_keys: Optional[bool] = None,
+        data_dir: Optional[str] = None,
     ) -> None:
         if shard_ids is not None:
             names = list(shard_ids)
@@ -232,6 +243,17 @@ class ClusterService:
             raise ConfigurationError("failure_threshold must be at least 1")
         self.config = config if config is not None else CLAMConfig.scaled()
         self.storage = storage
+        if storage == "persistent":
+            if data_dir is None:
+                raise ConfigurationError(
+                    'storage="persistent" needs a data_dir for the shard files'
+                )
+            os.makedirs(data_dir, exist_ok=True)
+        elif data_dir is not None:
+            raise ConfigurationError(
+                f'data_dir is only meaningful with storage="persistent", not {storage!r}'
+            )
+        self.data_dir = data_dir
         self._eviction_policy = eviction_policy
         self._keep_latency_samples = keep_latency_samples
         self.replication_factor = replication_factor
@@ -288,16 +310,36 @@ class ClusterService:
         )
         self.stats = ClusterStats(self.shards, service=self)
 
+    def shard_path(self, shard_id: str) -> str:
+        """Backing file of a persistent shard."""
+        if self.data_dir is None:
+            raise ConfigurationError("cluster has no data_dir (not persistent storage)")
+        return os.path.join(self.data_dir, f"{shard_id}.clam")
+
     def _build_shard(self, shard_id: str) -> CLAM:
         if shard_id in self.shards:
             raise ConfigurationError(f"shard {shard_id!r} already exists")
-        clam = CLAM(
-            self.config,
-            storage=self.storage,
-            clock=SimulationClock(),
-            eviction_policy=self._eviction_policy,
-            keep_latency_samples=self._keep_latency_samples,
-        )
+        if self.storage == "persistent":
+            # Reopening an existing file recovers it (cluster restart); the
+            # stored superblock config wins over self.config in that case.
+            path = self.shard_path(shard_id)
+            existing = os.path.exists(path) and os.path.getsize(path) > 0
+            clam: CLAM = DurableCLAM(
+                path,
+                config=None if existing else self.config,
+                clock=SimulationClock(),
+                eviction_policy=self._eviction_policy,
+                keep_latency_samples=self._keep_latency_samples,
+                name=shard_id,
+            )
+        else:
+            clam = CLAM(
+                self.config,
+                storage=self.storage,
+                clock=SimulationClock(),
+                eviction_policy=self._eviction_policy,
+                keep_latency_samples=self._keep_latency_samples,
+            )
         self.shards[shard_id] = clam
         self.clock.add(clam.clock)
         return clam
@@ -342,8 +384,11 @@ class ClusterService:
         """Inject a fault into every device of one shard.
 
         ``mode`` is ``"crash"`` (crash-stop), ``"io-errors"``
-        (``error_rate=``, deterministic under the device seed) or
-        ``"degraded"`` (``latency_multiplier=`` / ``extra_latency_ms=``).
+        (``error_rate=``, deterministic under the device seed), ``"degraded"``
+        (``latency_multiplier=`` / ``extra_latency_ms=``) or ``"power-cut"``
+        (``after_n_ios=N``: the shard's device loses power at its N-th
+        subsequent page I/O, tearing whatever was in flight — meaningful on
+        persistent shards, whose media survives for :meth:`reopen_shard`).
         Injection only plants the fault — the shard is *detected* as down via
         the error counters once operations start failing, exactly as a real
         cluster learns about a dead node.
@@ -357,6 +402,8 @@ class ClusterService:
                 device.faults.inject_errors(**fault_kwargs)
             elif mode == "degraded":
                 device.faults.degrade(**fault_kwargs)
+            elif mode == "power-cut":
+                device.faults.crash_after_n_ios(fault_kwargs.get("after_n_ios", 1))
             else:
                 raise ConfigurationError(f"unknown fault mode {mode!r}")
         self.events.record("failure_injected", shard=shard_id, mode=mode)
@@ -386,6 +433,55 @@ class ClusterService:
         replayed = self.hinted_handoffs - replayed_before
         if replayed:
             self.events.record("hinted_handoff_replay", shard=shard_id, keys_replayed=replayed)
+
+    def reopen_shard(self, shard_id: str) -> CrashRecoveryReport:
+        """Reopen a power-cut persistent shard from its backing file.
+
+        The dead :class:`~repro.core.recovery.DurableCLAM` is released and a
+        fresh one opened on the same file, which runs the CLAM crash-recovery
+        scan: acknowledged writes come back; DRAM-buffered ones are lost on
+        this shard (with ``replication_factor >= 2`` the other replicas still
+        hold them and read-repair restores this copy lazily).  Writes the
+        shard missed *while marked down* are then replayed from the hinted-
+        handoff log, exactly as :meth:`heal_shard` does, and the shard
+        rejoins the ring without any re-replication sweep.
+
+        Returns the shard's :class:`~repro.core.recovery.CrashRecoveryReport`.
+        """
+        if self.storage != "persistent":
+            raise ConfigurationError(
+                'reopen_shard needs storage="persistent"; '
+                f"this cluster uses {self.storage!r}"
+            )
+        if shard_id not in self.shards:
+            raise ConfigurationError(f"shard {shard_id!r} not present")
+        self.events.record("crash_recovery_started", shard=shard_id)
+        old = self.shards.pop(shard_id)
+        self.clock.remove(old.clock)
+        old.close()  # releases the mapping; skips flushing on a dead device
+        clam = self._build_shard(shard_id)
+        report = clam.recovery_report
+        assert isinstance(report, CrashRecoveryReport)  # the file existed
+        self._errors.pop(shard_id, None)
+        self._down.discard(shard_id)
+        self.events.record(
+            "crash_recovery_completed",
+            shard=shard_id,
+            clean_shutdown=report.clean_shutdown,
+            pages_scanned=report.pages_scanned,
+            entries_rebuilt=report.entries_rebuilt,
+            incarnations_from_checkpoint=report.incarnations_from_checkpoint,
+            log_records_replayed=report.log_records_replayed,
+            torn_pages_discarded=report.torn_pages_discarded,
+            recovery_io_ms=report.recovery_io_ms,
+        )
+        replayed_before = self.hinted_handoffs
+        for key in sorted(self._hints.pop(shard_id, ())):
+            self._replay_hint(shard_id, key)
+        replayed = self.hinted_handoffs - replayed_before
+        if replayed:
+            self.events.record("hinted_handoff_replay", shard=shard_id, keys_replayed=replayed)
+        return report
 
     def _record_hint(self, shard_id: str, key: KeyLike) -> None:
         """Remember that ``shard_id`` missed a write/delete for ``key``."""
@@ -669,12 +765,31 @@ class ClusterService:
         # before mutating anything, so no duplicate guards are needed here.
         handoff = self.router.remove_shard(shard_id)
         clam = self.shards.pop(shard_id)
+        if isinstance(clam, DurableCLAM):
+            clam.close()
         self.clock.remove(clam.clock)
         self._errors.pop(shard_id, None)
         self._down.discard(shard_id)
         self._hints.pop(shard_id, None)
         self.events.record("shard_removed", shard=shard_id)
         return handoff
+
+    def close(self) -> None:
+        """Cleanly close every persistent shard (flush, checkpoint, unmap).
+
+        No-op for in-memory storage profiles; safe to call twice.  Makes
+        ``ClusterService`` usable as a context manager so tests and
+        benchmarks on ``storage="persistent"`` never leak file mappings.
+        """
+        for clam in self.shards.values():
+            if isinstance(clam, DurableCLAM):
+                clam.close()
+
+    def __enter__(self) -> "ClusterService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # -- Reporting ----------------------------------------------------------------------
 

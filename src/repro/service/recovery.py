@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.errors import ConfigurationError
+from repro.core.recovery import CrashRecoveryReport
 from repro.service.cluster import ClusterService
 from repro.service.router import HandoffStats
 
@@ -167,6 +168,38 @@ class RecoveryCoordinator:
         report.work_ms = cluster.clock.busy_ms - started_busy_ms
         self._log(report)
         return report
+
+    def reopen_and_rejoin(
+        self, shard_ids: Optional[Iterable[str]] = None
+    ) -> Dict[str, CrashRecoveryReport]:
+        """Recover power-cut persistent shards *in place* instead of removing them.
+
+        The cheap path for a cluster on ``storage="persistent"``: a shard
+        that lost power still has every acknowledged write on its backing
+        file, so instead of taking it off the ring and re-replicating its
+        whole key range (:meth:`recover`), each failed shard is reopened —
+        running the CLAM crash-recovery scan — and rejoins at its old ring
+        position, with only the writes it missed while down replayed from the
+        hinted-handoff log.  Replication of DRAM-buffered writes lost in the
+        cut is restored lazily by read-repair.
+
+        ``shard_ids`` defaults to :meth:`detect`'s findings.  Returns each
+        shard's :class:`~repro.core.recovery.CrashRecoveryReport`.
+        """
+        cluster = self.cluster
+        failed = tuple(shard_ids) if shard_ids is not None else self.detect()
+        reports: Dict[str, CrashRecoveryReport] = {}
+        for shard_id in failed:
+            reports[shard_id] = cluster.reopen_shard(shard_id)
+        if reports:
+            cluster.recoveries += 1
+            cluster.events.record(
+                "reopen_rejoin",
+                shards=list(reports),
+                entries_rebuilt=sum(r.entries_rebuilt for r in reports.values()),
+                log_records_replayed=sum(r.log_records_replayed for r in reports.values()),
+            )
+        return reports
 
     # -- Shard-level plumbing ------------------------------------------------------------
 
