@@ -46,6 +46,7 @@ from benchmarks.common import (
     standard_clam,
     write_bench_json,
 )
+from benchmarks.ratchet import assert_fraction
 from repro.telemetry import build_snapshot
 from repro.wanopt.chunking import HAVE_NUMPY, RabinChunker
 from repro.wanopt.engine import CompressionEngine
@@ -160,7 +161,9 @@ def apply_ratchet(rows) -> list:
     committed file ratchets nothing.  The speedup ratio is machine-invariant
     (both sides run on the same box in the same process), so a slower CI
     runner cannot trip it — only a genuine regression in the optimized
-    paths relative to the frozen reference can.
+    paths relative to the frozen reference can.  The floor itself is
+    enforced by the shared :func:`benchmarks.ratchet.assert_fraction`
+    primitive.
     """
     committed_path = REPO_ROOT / "BENCH_chunking.json"
     if not committed_path.exists():
@@ -176,20 +179,20 @@ def apply_ratchet(rows) -> list:
         old = by_shape.get(shape)
         if old is None:
             continue
-        floor = old["optimized_speedup"] * RATCHET_FRACTION
+        check = assert_fraction(
+            f"chunking speedup on {row['payload_kib']} KiB / avg {row['average_size']}",
+            fresh=row["optimized_speedup"],
+            committed=old["optimized_speedup"],
+            floor=RATCHET_FRACTION,
+        )
         checked.append(
             {
                 "payload_kib": row["payload_kib"],
                 "average_size": row["average_size"],
                 "committed_speedup": old["optimized_speedup"],
                 "fresh_speedup": row["optimized_speedup"],
-                "floor_speedup": floor,
+                "floor_speedup": check["floor"],
             }
-        )
-        assert row["optimized_speedup"] >= floor, (
-            f"chunking regression: {row['optimized_speedup']:.1f}x < "
-            f"{RATCHET_FRACTION:.0%} of committed {old['optimized_speedup']:.1f}x "
-            f"on {row['payload_kib']} KiB / avg {row['average_size']}"
         )
     return checked
 

@@ -49,6 +49,7 @@ from contextlib import contextmanager
 from typing import Dict, Iterator, Optional
 
 from benchmarks.common import add_telemetry_arg, dump_telemetry, print_table, write_bench_json
+from benchmarks.ratchet import assert_fraction
 from repro.core import CLAM, CLAMConfig
 from repro.core.bloom import BloomFilter
 from repro.core.hashing import clear_digest_cache, count_hash_calls
@@ -403,15 +404,23 @@ def check_telemetry_ratchet(results: Dict[str, Dict], ablation: Dict) -> None:
     comparison is immune to machine-to-machine throughput differences that a
     ratchet against a committed file would trip over.  The enabled run only
     gets a loose floor: recording two histogram observations per operation
-    costs real Python time and is priced in, not hidden.
+    costs real Python time and is priced in, not hidden.  Both floors go
+    through the shared :func:`benchmarks.ratchet.assert_fraction` primitive.
     """
     after_ops = results["after"]["hotpath_ops_per_sec"]
     off = ablation["off_ops_per_sec"]
-    assert off >= 0.95 * after_ops, (
-        f"telemetry-off hotpath {off:.1f} ops/s regressed >5% vs the same-run "
-        f"baseline {after_ops:.1f} ops/s"
+    assert_fraction(
+        "hotpath telemetry-off A/B vs same-run baseline",
+        fresh=off,
+        committed=after_ops,
+        floor=0.95,
     )
-    assert ablation["on_ops_per_sec"] >= 0.5 * off, ablation
+    assert_fraction(
+        "hotpath telemetry-on floor vs telemetry-off",
+        fresh=ablation["on_ops_per_sec"],
+        committed=off,
+        floor=0.5,
+    )
 
 
 def run_bench(

@@ -1,0 +1,240 @@
+"""Shared regression ratchet for the benchmark suite.
+
+Every benchmark that commits a ``BENCH_<name>.json`` can ratchet a fresh
+``--quick`` run against it: the committed file freezes the contract, the
+fresh run must stay within per-metric tolerances, and CI fails on any
+violation.  This module is the one place that comparison logic lives —
+``bench_chunking``'s speedup floor, ``bench_hotpath``'s same-run telemetry
+A/B and ``bench_rebalance``'s zero-lost-keys/availability contract all call
+the same primitives.
+
+Two kinds of checks:
+
+* :func:`assert_fraction` — the in-process primitive: ``fresh`` must be at
+  least ``floor`` times ``committed``.  Both numbers should come from the
+  same process/machine (a speedup ratio, an A/B pair), which is what makes
+  the check immune to runner speed.
+* :class:`RatchetSpec` + :func:`check_spec` — the file-level ratchet: a
+  declarative list of :class:`Metric` rules compared between a fresh
+  ``BENCH_<fresh>.json`` and the committed ``BENCH_<committed>.json``.  Only
+  machine- and workload-size-invariant metrics belong here (availability,
+  zero-loss counters, completion flags, ratios) — quick runs are smaller
+  than committed full runs, so absolute throughput never qualifies.
+
+Run as a CLI (``python benchmarks/ratchet.py [name ...]``) it checks every
+registered spec whose files are present, printing one line per metric; any
+violation exits non-zero.  CI invokes it right after the quick benchmark
+smoke, so the fresh files are in place.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from benchmarks.common import REPO_ROOT
+
+
+class RatchetError(AssertionError):
+    """A fresh benchmark run violated a committed ratchet contract."""
+
+
+def assert_fraction(label: str, fresh: float, committed: float, floor: float) -> Dict:
+    """Require ``fresh >= floor * committed``; returns the check record.
+
+    The workhorse behind every "within X% of the baseline" rule.  ``floor``
+    above 1 expresses "must not exceed" contracts by swapping the operands at
+    the call site instead of adding a second primitive.
+    """
+    bound = committed * floor
+    if fresh < bound:
+        raise RatchetError(
+            f"{label}: fresh {fresh:.4g} below {floor:.0%} of committed "
+            f"{committed:.4g} (floor {bound:.4g})"
+        )
+    return {
+        "label": label,
+        "fresh": fresh,
+        "committed": committed,
+        "floor": bound,
+        "ok": True,
+    }
+
+
+def resolve(payload: Dict, dotted: str):
+    """Walk a dotted path (``"churn.availability"``) into a JSON payload."""
+    node = payload
+    for part in dotted.split("."):
+        if isinstance(node, list):
+            node = node[int(part)]
+        elif isinstance(node, dict):
+            if part not in node:
+                raise RatchetError(f"metric path {dotted!r} missing at {part!r}")
+            node = node[part]
+        else:
+            raise RatchetError(f"metric path {dotted!r} hit a leaf at {part!r}")
+    return node
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One ratchet rule over a dotted path present in both payloads.
+
+    ``mode`` is one of:
+
+    * ``"min-fraction"`` — fresh >= tolerance * committed (ratios, rates).
+    * ``"max-fraction"`` — fresh <= tolerance * committed (error counts that
+      may legitimately be zero on both sides are better served by exact).
+    * ``"min-value"`` — fresh >= tolerance, ignoring the committed value (an
+      absolute floor the committed file also had to meet).
+    * ``"max-value"`` — fresh <= tolerance (absolute ceiling, e.g. 0 lost
+      keys).
+    * ``"exact"`` — fresh == committed (counts fixed by the workload shape).
+    """
+
+    key: str
+    mode: str
+    tolerance: float = 1.0
+
+    _MODES = ("min-fraction", "max-fraction", "min-value", "max-value", "exact")
+
+    def __post_init__(self) -> None:
+        if self.mode not in self._MODES:
+            raise ValueError(f"mode must be one of {self._MODES}, got {self.mode!r}")
+
+    def check(self, spec_name: str, fresh_payload: Dict, committed_payload: Dict) -> Dict:
+        fresh = resolve(fresh_payload, self.key)
+        committed = resolve(committed_payload, self.key)
+        label = f"{spec_name}:{self.key}"
+        if self.mode == "min-fraction":
+            return assert_fraction(label, fresh, committed, self.tolerance)
+        if self.mode == "max-fraction":
+            bound = committed * self.tolerance
+            if fresh > bound:
+                raise RatchetError(
+                    f"{label}: fresh {fresh:.4g} above {self.tolerance:.0%} of "
+                    f"committed {committed:.4g} (ceiling {bound:.4g})"
+                )
+        elif self.mode == "min-value":
+            if fresh < self.tolerance:
+                raise RatchetError(
+                    f"{label}: fresh {fresh:.4g} below absolute floor {self.tolerance:.4g}"
+                )
+        elif self.mode == "max-value":
+            if fresh > self.tolerance:
+                raise RatchetError(
+                    f"{label}: fresh {fresh:.4g} above absolute ceiling {self.tolerance:.4g}"
+                )
+        else:  # exact
+            if fresh != committed:
+                raise RatchetError(
+                    f"{label}: fresh {fresh!r} differs from committed {committed!r}"
+                )
+        return {
+            "label": label,
+            "fresh": fresh,
+            "committed": committed,
+            "mode": self.mode,
+            "ok": True,
+        }
+
+
+@dataclass(frozen=True)
+class RatchetSpec:
+    """A fresh-vs-committed BENCH file comparison for one benchmark."""
+
+    name: str
+    fresh: str
+    committed: str
+    metrics: Tuple[Metric, ...]
+
+    def fresh_path(self):
+        return REPO_ROOT / f"BENCH_{self.fresh}.json"
+
+    def committed_path(self):
+        return REPO_ROOT / f"BENCH_{self.committed}.json"
+
+
+#: File-level ratchets the CLI knows about.  Benchmarks with purely
+#: in-process ratchets (hotpath's same-run A/B, chunking's per-row speedup
+#: floors) use :func:`assert_fraction` directly and are not listed here.
+REGISTRY: Dict[str, RatchetSpec] = {
+    "rebalance": RatchetSpec(
+        name="rebalance",
+        fresh="rebalance_quick",
+        committed="rebalance",
+        metrics=(
+            # Zero lost keys is the contract, not a tolerance.
+            Metric("churn.lost_keys", "max-value", 0),
+            Metric("churn.lost_keys", "exact"),
+            # Availability through the 4→6→3 churn: the committed file had to
+            # clear 0.99; a fresh quick run must stay within 1% of it *and*
+            # above the same absolute bar.
+            Metric("churn.availability", "min-fraction", 0.99),
+            Metric("churn.availability", "min-value", 0.99),
+            # The scripted churn always performs the same membership changes.
+            Metric("churn.migrations_completed", "exact"),
+            Metric("churn.final_shards", "exact"),
+            # Every migration must have been a genuine online move, streamed
+            # in bounded steps interleaved with the traffic loop.
+            Metric("churn.migration_steps", "min-value", 1),
+        ),
+    ),
+}
+
+
+def check_spec(spec: RatchetSpec) -> List[Dict]:
+    """Run every metric of one spec; raises :class:`RatchetError` on failure."""
+    fresh_path, committed_path = spec.fresh_path(), spec.committed_path()
+    if not committed_path.exists():
+        return []  # nothing committed yet: first run establishes the baseline
+    if not fresh_path.exists():
+        raise RatchetError(
+            f"{spec.name}: fresh file {fresh_path.name} missing — run the "
+            f"benchmark with --quick before ratcheting"
+        )
+    fresh_payload = json.loads(fresh_path.read_text())
+    committed_payload = json.loads(committed_path.read_text())
+    return [
+        metric.check(spec.name, fresh_payload, committed_payload) for metric in spec.metrics
+    ]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "names",
+        nargs="*",
+        help="registered spec names to check (default: every spec)",
+    )
+    args = parser.parse_args(argv)
+    names = args.names or sorted(REGISTRY)
+    failures = 0
+    for name in names:
+        if name not in REGISTRY:
+            print(f"ratchet: unknown spec {name!r} (known: {sorted(REGISTRY)})")
+            return 2
+        spec = REGISTRY[name]
+        try:
+            checks = check_spec(spec)
+        except RatchetError as error:
+            print(f"FAIL {error}")
+            failures += 1
+            continue
+        if not checks:
+            print(f"skip {name}: no committed {spec.committed_path().name} yet")
+            continue
+        for check in checks:
+            print(
+                f"  ok {check['label']}: fresh={check['fresh']!r} "
+                f"committed={check['committed']!r}"
+            )
+        print(f"PASS {name}: {len(checks)} metric checks")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,10 @@ fan out to each key's N-shard preference list, reads fail over (with
 read-repair) to surviving replicas, and a
 :class:`~repro.service.recovery.RecoveryCoordinator` re-replicates a dead
 shard's key ranges onto the survivors along the router's exact handoff arcs.
+The cluster also scales *online*: a :class:`KeyMigrator` streams the exact
+key-range arcs a membership change moves while traffic continues (double-read
+during the move, atomic per-arc cut-over), and an :class:`AutoscalePolicy`
+can drive those migrations from live hot-shard and p99 signals.
 Faults are injected deterministically at the device layer
 (:mod:`repro.flashsim.faults`), either directly or on a request-count
 schedule (:class:`FailureEvent`) inside the traffic simulator.
@@ -43,6 +47,17 @@ from repro.service.batch import (
     ShardBatchStats,
 )
 from repro.service.cluster import ClusterService, ClusterStats
+from repro.service.rebalance import (
+    ArcState,
+    AutoscaleConfig,
+    AutoscaleDecision,
+    AutoscalePolicy,
+    KeyMigrator,
+    MigrationArc,
+    MigrationReport,
+    MigrationState,
+    changed_arcs,
+)
 from repro.service.recovery import RecoveryCoordinator, RecoveryReport
 from repro.service.router import RING_SPACE, HandoffStats, ShardRouter
 from repro.service.simulator import (
@@ -71,4 +86,13 @@ __all__ = [
     "FailureEvent",
     "RecoveryCoordinator",
     "RecoveryReport",
+    "KeyMigrator",
+    "MigrationState",
+    "MigrationArc",
+    "MigrationReport",
+    "ArcState",
+    "changed_arcs",
+    "AutoscalePolicy",
+    "AutoscaleConfig",
+    "AutoscaleDecision",
 ]

@@ -165,6 +165,14 @@ class BatchExecutor:
         providing ``is_live`` switches the executor into managed mode (see
         module docstring).  ``on_missed_write(shard_id, key)`` fires for
         every write copy a down or failing replica did not receive.
+    targets_for:
+        Optional replica-placement override: ``targets_for(key, kind)``
+        returns the shards one operation must consult instead of the router's
+        raw preference list.  The cluster wires this to its migration-aware
+        placement (:meth:`ClusterService._op_replicas`), so an in-flight
+        rebalance can double-read and dual-write the arcs being moved while
+        batches keep flowing; without it the executor routes exactly as
+        before.
     """
 
     def __init__(
@@ -178,6 +186,7 @@ class BatchExecutor:
         is_live: Optional[Callable[[str], bool]] = None,
         on_shard_error: Optional[Callable[[str], bool]] = None,
         on_missed_write: Optional[Callable[[str, KeyLike], None]] = None,
+        targets_for: Optional[Callable[[KeyLike, OpKind], Tuple[str, ...]]] = None,
     ) -> None:
         if dispatch_overhead_ms < 0 or routing_cost_ms < 0:
             raise ConfigurationError("overhead costs must be non-negative")
@@ -192,6 +201,7 @@ class BatchExecutor:
         self._is_live = is_live
         self._on_shard_error = on_shard_error
         self._on_missed_write = on_missed_write
+        self._targets_for = targets_for
 
     @property
     def managed(self) -> bool:
@@ -212,7 +222,10 @@ class BatchExecutor:
         ``KeyError`` — and raises :class:`ShardUnavailableError` when nothing
         is left.
         """
-        replicas = self.router.preference_list(key, self.replication_factor)
+        if self._targets_for is not None:
+            replicas = self._targets_for(key, kind)
+        else:
+            replicas = self.router.preference_list(key, self.replication_factor)
         if self._is_live is not None:
             live = tuple(s for s in replicas if s not in attempted and self._is_live(s))
             if kind is not OpKind.LOOKUP and self._on_missed_write is not None:

@@ -64,6 +64,10 @@ from repro.workloads.workload import (
 )
 
 
+#: Operation kinds the write fan-out path dispatches, by method name.
+_WRITE_KINDS = {"insert": OpKind.INSERT, "update": OpKind.UPDATE, "delete": OpKind.DELETE}
+
+
 def imbalance_factor(loads: Iterable[float]) -> float:
     """Hottest load over the mean load (1.0 = perfectly balanced or idle)."""
     loads = list(loads)
@@ -286,6 +290,13 @@ class ClusterService:
         self.read_repairs = 0
         self.hinted_handoffs = 0
         self.recoveries = 0
+        #: In-flight :class:`~repro.service.rebalance.MigrationState`, installed
+        #: by a :class:`~repro.service.rebalance.KeyMigrator` while an online
+        #: scale-out/scale-in is moving key-range arcs.  While set, every
+        #: read/write consults :meth:`_op_replicas` so arcs being moved are
+        #: double-read (old owners first) and dual-written; ``None`` costs one
+        #: attribute check per operation.
+        self.migration = None
         #: Most recent :class:`~repro.service.recovery.RecoveryReport`.
         self.last_recovery = None
         #: Most recent :class:`~repro.service.batch.BatchResult` produced by
@@ -307,6 +318,7 @@ class ClusterService:
             is_live=self.is_live,
             on_shard_error=self.record_shard_error,
             on_missed_write=self._record_hint,
+            targets_for=self._op_replicas,
         )
         self.stats = ClusterStats(self.shards, service=self)
 
@@ -545,13 +557,28 @@ class ClusterService:
         """
         return canonical_key(key, self.config.use_hash_once)
 
+    def _op_replicas(self, key: KeyLike, kind: OpKind) -> Tuple[str, ...]:
+        """The shards one operation must consult, migration-aware.
+
+        Without a migration in flight this is exactly the key's preference
+        list.  While a :class:`~repro.service.rebalance.KeyMigrator` is moving
+        arcs, keys inside an arc being migrated are answered from the union
+        of old and new owners — old owners first, so lookups never miss
+        mid-move (the *double-read window*) and writes reach both sides (the
+        *write-forwarding* that lets the arc cut over without a quiesce).
+        """
+        migration = self.migration
+        if migration is not None:
+            return migration.replicas_for(key, kind)
+        return self.router.preference_list(key, self.replication_factor)
+
     def _live_replicas(self, key: KeyLike) -> Tuple[str, ...]:
-        """The key's preference list filtered through the live view.
+        """The key's serving replicas filtered through the live view.
 
         Raises the typed :class:`ShardUnavailableError` (never a bare
         ``KeyError``) when nothing is left to serve the key.
         """
-        replicas = self.router.preference_list(key, self.replication_factor)
+        replicas = self._op_replicas(key, OpKind.LOOKUP)
         live = tuple(s for s in replicas if self.is_live(s))
         if not live:
             raise ShardUnavailableError(
@@ -586,6 +613,11 @@ class ClusterService:
             self._tracked.add(data)
         else:
             self._tracked.discard(data)
+        # An in-flight migration keeps per-arc copy queues: a write landing in
+        # an arc that has not started moving yet must join that arc's queue
+        # (arcs already moving are covered by the dual-write path instead).
+        if self.migration is not None:
+            self.migration.note_write(data, alive)
 
     def _write_all(self, op_name: str, key: KeyLike, *args):
         """Run a write on every live replica; the primary's result is returned.
@@ -594,7 +626,7 @@ class ClusterService:
         so :meth:`heal_shard` can replay what they missed.
         """
         key = self._canonical(key)
-        replicas = self.router.preference_list(key, self.replication_factor)
+        replicas = self._op_replicas(key, _WRITE_KINDS[op_name])
         primary_result = None
         for shard_id in replicas:
             if not self.is_live(shard_id):
@@ -744,6 +776,7 @@ class ClusterService:
         if re-inserted (consistent hashing keeps that moved fraction near
         ``1/(N+1)`` rather than re-shuffling everything).
         """
+        self._check_membership_frozen("add_shard")
         if shard_id is None:
             index = len(self.shards)
             while f"shard-{index}" in self.shards:
@@ -759,11 +792,29 @@ class ClusterService:
 
         Used both for planned decommissions and by the
         :class:`~repro.service.recovery.RecoveryCoordinator` to take a dead
-        shard off the ring before re-replicating its key ranges.
+        shard off the ring before re-replicating its key ranges.  For a
+        *graceful* decommission that streams the shard's data off first, use
+        :meth:`repro.service.rebalance.KeyMigrator.start_remove` instead.
         """
+        self._check_membership_frozen("remove_shard")
         # The router validates presence and refuses to drop the last shard
         # before mutating anything, so no duplicate guards are needed here.
         handoff = self.router.remove_shard(shard_id)
+        self.decommission_shard(shard_id)
+        return handoff
+
+    def decommission_shard(self, shard_id: str) -> None:
+        """Retire a shard *instance* that is no longer on the ring.
+
+        The second half of :meth:`remove_shard`, split out so the online
+        rebalancer can take a shard off the ring first (routing new traffic
+        away) and release the instance only after its data has been streamed
+        to the new owners.
+        """
+        if shard_id in self.router:
+            raise ConfigurationError(
+                f"shard {shard_id!r} is still on the ring; remove it from the router first"
+            )
         clam = self.shards.pop(shard_id)
         if isinstance(clam, DurableCLAM):
             clam.close()
@@ -772,7 +823,22 @@ class ClusterService:
         self._down.discard(shard_id)
         self._hints.pop(shard_id, None)
         self.events.record("shard_removed", shard=shard_id)
-        return handoff
+
+    def _check_membership_frozen(self, operation: str) -> None:
+        """Reject direct membership changes while a migration is in flight.
+
+        One membership change at a time: the migrator's arc bookkeeping is
+        computed against a fixed (old ring, new ring) pair, so a concurrent
+        ``add_shard``/``remove_shard`` would silently invalidate it.  The
+        migrator itself mutates the ring *before* installing
+        :attr:`migration` (and clears it before decommissioning), so its own
+        paths pass this check.
+        """
+        if self.migration is not None:
+            raise ConfigurationError(
+                f"{operation} rejected: cluster membership is frozen while a "
+                "key migration is in flight (drain or abort it first)"
+            )
 
     def close(self) -> None:
         """Cleanly close every persistent shard (flush, checkpoint, unmap).

@@ -1,0 +1,813 @@
+"""Online elastic rebalancing: streaming key-range migration under live traffic.
+
+The rebalancing layer turns a membership change — a shard joining or leaving
+the ring — into a *migration* the cluster can perform while it keeps serving:
+
+* :func:`changed_arcs` computes the **exact** set of key-range arcs whose
+  preference list changes between two rings.  Preference lists are piecewise
+  constant between ring points (see
+  :meth:`~repro.service.router.ShardRouter.preference_at`), so segmenting the
+  ring at the union of both rings' boundary points and comparing the lists at
+  each segment's inclusive end covers the whole key space with no sampling.
+* :class:`MigrationState` is the placement overlay installed on
+  :attr:`ClusterService.migration` while arcs move.  A **pending** arc still
+  routes to its old owners; a **migrating** arc routes every read and write to
+  the *union* of old and new owners, old owners first — the double-read window
+  that keeps lookups hitting the authoritative copy and the write forwarding
+  that keeps the new owners current; a **done** arc routes to its new owners
+  only.
+* :class:`KeyMigrator` drives the move: it snapshots the old ring, applies the
+  membership change, seeds each arc's copy queue from the cluster's key
+  catalog, then streams keys in bounded :meth:`~KeyMigrator.step` batches
+  interleaved with live traffic.  An arc whose queue drains is **cut over**
+  atomically (one state flip) and the copies on owners that left its
+  preference list are retired.  A key counts as copied only once at least one
+  *live* new-ring replica is confirmed to hold it, so killing the joining
+  shard mid-migration at ``replication_factor >= 2`` degrades to hinted
+  handoff instead of data loss.
+* :class:`AutoscalePolicy` layers elasticity on top: driven by per-shard
+  operation deltas (the hot-shard signal) and per-shard p99 latency from the
+  telemetry registry, it starts a scale-out or scale-in migration during a
+  :class:`~repro.service.simulator.TrafficSimulator` run, with cooldown and
+  one-membership-change-at-a-time discipline.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.errors import ConfigurationError, ShardUnavailableError
+from repro.core.hashing import RING_SEED, KeyLike, hash_key
+from repro.service.cluster import ClusterService, imbalance_factor
+from repro.service.router import RING_SPACE, HandoffStats, ShardRouter
+from repro.workloads.workload import OpKind
+
+
+class ArcState(Enum):
+    """Lifecycle of one migration arc."""
+
+    PENDING = "pending"
+    MIGRATING = "migrating"
+    DONE = "done"
+
+
+@dataclass
+class MigrationArc:
+    """One contiguous key-range arc whose preference list is changing.
+
+    ``start`` is exclusive and ``end`` inclusive, matching the router's arc
+    convention; an arc may wrap through 0.  ``keys`` is every catalogued key
+    hashing into the arc (kept current by :meth:`MigrationState.note_write`),
+    ``pending`` the subset still awaiting a confirmed copy.
+    """
+
+    start: int
+    end: int
+    old_replicas: Tuple[str, ...]
+    new_replicas: Tuple[str, ...]
+    state: ArcState = ArcState.PENDING
+    keys: Set[bytes] = field(default_factory=set)
+    pending: Set[bytes] = field(default_factory=set)
+    copied: int = 0
+    retired: int = 0
+
+    @property
+    def length(self) -> int:
+        """Arc length in ring units (start == end means the whole ring)."""
+        return (self.end - self.start) % RING_SPACE or RING_SPACE
+
+    @property
+    def fraction(self) -> float:
+        """Fraction of the key space the arc covers."""
+        return self.length / RING_SPACE
+
+    def contains(self, position: int) -> bool:
+        """Whether a ring position falls inside this (wrap-aware) arc."""
+        return 0 < (position - self.start) % RING_SPACE <= self.length
+
+    @property
+    def union_replicas(self) -> Tuple[str, ...]:
+        """Old owners first, then the new owners not already among them.
+
+        The placement of a migrating arc: old-first ordering makes the first
+        live replica — what lookups and batched reads consult — the
+        authoritative old primary throughout the double-read window.
+        """
+        return self.old_replicas + tuple(
+            shard_id for shard_id in self.new_replicas if shard_id not in self.old_replicas
+        )
+
+
+def changed_arcs(
+    old_router: ShardRouter,
+    new_router: ShardRouter,
+    replication_factor: int,
+) -> List[MigrationArc]:
+    """Exact arcs whose preference list differs between two rings.
+
+    Segments the ring at the union of both rings' boundary points; preference
+    lists are constant on each segment, so evaluating both routers at the
+    segment's inclusive end classifies every key in it.  Adjacent segments
+    with identical (old, new) lists are merged.
+    """
+    boundaries = sorted(set(old_router.boundary_points()) | set(new_router.boundary_points()))
+    arcs: List[MigrationArc] = []
+    previous = boundaries[-1]
+    for point in boundaries:
+        old_pref = old_router.preference_at(point, replication_factor)
+        new_pref = new_router.preference_at(point, replication_factor)
+        if old_pref != new_pref:
+            if (
+                arcs
+                and arcs[-1].end == previous
+                and arcs[-1].old_replicas == old_pref
+                and arcs[-1].new_replicas == new_pref
+            ):
+                arcs[-1].end = point
+            else:
+                arcs.append(
+                    MigrationArc(
+                        start=previous,
+                        end=point,
+                        old_replicas=old_pref,
+                        new_replicas=new_pref,
+                    )
+                )
+        previous = point
+    # The first and last arcs may be two halves of one arc wrapping through 0.
+    if (
+        len(arcs) >= 2
+        and arcs[0].start == arcs[-1].end
+        and arcs[0].old_replicas == arcs[-1].old_replicas
+        and arcs[0].new_replicas == arcs[-1].new_replicas
+    ):
+        arcs[-1].end = arcs[0].end
+        arcs.pop(0)
+    return arcs
+
+
+class MigrationState:
+    """Placement overlay consulted by every cluster operation while arcs move.
+
+    Installed on :attr:`ClusterService.migration` by a :class:`KeyMigrator`
+    *after* the ring has been mutated, so ``router`` here is already the new
+    ring: keys outside any arc (and keys in done arcs) route normally, while
+    pending/migrating arcs override placement per :class:`ArcState`.
+    """
+
+    def __init__(
+        self,
+        arcs: List[MigrationArc],
+        router: ShardRouter,
+        replication_factor: int,
+    ) -> None:
+        self.arcs = sorted(arcs, key=lambda arc: arc.end)
+        self._ends = [arc.end for arc in self.arcs]
+        self._router = router
+        self._replication_factor = replication_factor
+
+    def arc_for_hash(self, position: int) -> Optional[MigrationArc]:
+        """The arc containing a ring position, or None if no arc covers it.
+
+        Arcs are disjoint and sorted by inclusive end; a wrapping arc (the one
+        through 0) necessarily has the smallest end, so the usual
+        first-end-at-or-after bisect plus a containment check covers both the
+        wrap-around probe and the gaps between arcs.
+        """
+        if not self.arcs:
+            return None
+        index = bisect_left(self._ends, position)
+        if index == len(self._ends):
+            index = 0
+        arc = self.arcs[index]
+        return arc if arc.contains(position) else None
+
+    def replicas_for(self, key: KeyLike, kind: OpKind) -> Tuple[str, ...]:
+        """The shards one operation on ``key`` must consult right now.
+
+        ``kind`` is part of the placement interface but unused: during the
+        double-read window reads and writes deliberately see the *same* union
+        placement (reads so they never miss, writes so the new owners stay
+        current for the cut-over).
+        """
+        arc = self.arc_for_hash(hash_key(key, seed=RING_SEED))
+        if arc is None:
+            return self._router.preference_list(key, self._replication_factor)
+        if arc.state is ArcState.MIGRATING:
+            return arc.union_replicas
+        if arc.state is ArcState.PENDING:
+            return arc.old_replicas
+        return arc.new_replicas
+
+    def note_write(self, key_bytes: bytes, alive: bool) -> None:
+        """Fold one applied write into the owning arc's bookkeeping.
+
+        A write landing in a pending arc must join its copy queue (the arc's
+        owners have not changed yet); in a migrating arc the dual-write
+        already placed the value on the new owners, so the key leaves the
+        queue instead.  Deletes leave both sets — there is nothing to move or
+        retire any more.
+        """
+        arc = self.arc_for_hash(hash_key(key_bytes, seed=RING_SEED))
+        if arc is None or arc.state is ArcState.DONE:
+            return
+        if alive:
+            arc.keys.add(key_bytes)
+            if arc.state is ArcState.PENDING:
+                arc.pending.add(key_bytes)
+            else:
+                arc.pending.discard(key_bytes)
+        else:
+            arc.keys.discard(key_bytes)
+            arc.pending.discard(key_bytes)
+
+    @property
+    def keys_pending(self) -> int:
+        """Keys still awaiting a confirmed copy, across every arc."""
+        return sum(len(arc.pending) for arc in self.arcs)
+
+    @property
+    def arcs_done(self) -> int:
+        """Arcs already cut over."""
+        return sum(1 for arc in self.arcs if arc.state is ArcState.DONE)
+
+
+@dataclass(frozen=True)
+class MigrationReport:
+    """Outcome of one completed migration."""
+
+    direction: str
+    subject: str
+    arcs: int
+    moved_fraction: float
+    keys_seeded: int
+    keys_copied: int
+    keys_retired: int
+    steps: int
+    blocked_retries: int
+    duration_ms: float
+
+
+class KeyMigrator:
+    """Streams a membership change's key-range arcs while traffic continues.
+
+    One migration at a time: :meth:`start_add` / :meth:`start_remove` snapshot
+    the old ring, apply the membership change, seed the arc queues from the
+    cluster's key catalog and install the :class:`MigrationState` overlay.
+    :meth:`step` then copies a bounded batch of keys (call it from the traffic
+    loop to interleave with requests), cutting arcs over as their queues
+    drain; :meth:`run_to_completion` drains everything, raising if the
+    migration stalls with no live replica to copy from or confirm on.
+
+    Parameters
+    ----------
+    batch_size:
+        Copy attempts per :meth:`step` (the knob trading migration speed for
+        foreground interference).
+    max_active_arcs:
+        Arcs in the migrating (double-read) state at once; the rest stay
+        pending — and cheaply routed to their old owners — until a slot frees.
+    stall_limit:
+        Consecutive zero-progress steps after which
+        :meth:`run_to_completion` gives up.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterService,
+        batch_size: int = 64,
+        max_active_arcs: int = 4,
+        stall_limit: int = 3,
+    ) -> None:
+        if batch_size <= 0:
+            raise ConfigurationError("batch_size must be positive")
+        if max_active_arcs <= 0:
+            raise ConfigurationError("max_active_arcs must be positive")
+        if stall_limit <= 0:
+            raise ConfigurationError("stall_limit must be positive")
+        self.cluster = cluster
+        self.batch_size = batch_size
+        self.max_active_arcs = max_active_arcs
+        self.stall_limit = stall_limit
+        #: Reports of completed migrations, in completion order.
+        self.reports: List[MigrationReport] = []
+        #: Consecutive steps that confirmed zero keys while some were blocked.
+        self.stalled_steps = 0
+        self._state: Optional[MigrationState] = None
+        self._direction = ""
+        self._subject = ""
+        self._handoff: Optional[HandoffStats] = None
+        self._steps = 0
+        self._blocked_retries = 0
+        self._keys_copied = 0
+        self._keys_retired = 0
+        self._keys_seeded = 0
+        self._started_ms = 0.0
+
+    @property
+    def active(self) -> bool:
+        """Whether this migrator currently owns an in-flight migration."""
+        return self._state is not None and self.cluster.migration is self._state
+
+    def _require_active(self) -> MigrationState:
+        if not self.active:
+            raise ConfigurationError("no key migration in flight")
+        return self._state
+
+    def _snapshot_router(self) -> ShardRouter:
+        """Preconditions plus an independent copy of the current (old) ring."""
+        if self.cluster.migration is not None:
+            raise ConfigurationError("a key migration is already in flight")
+        if self.cluster.tracked_keys is None:
+            raise ConfigurationError(
+                "KeyMigrator needs the cluster's key catalog (track_keys=True)"
+            )
+        router = self.cluster.router
+        return ShardRouter(router.shard_ids, virtual_nodes=router.virtual_nodes)
+
+    # -- Starting a migration -----------------------------------------------------------
+
+    def start_add(self, shard_id: Optional[str] = None) -> str:
+        """Provision a shard and start streaming its arcs to it online.
+
+        Returns the joining shard's id (auto-named when not given).
+        """
+        old_router = self._snapshot_router()
+        handoff = self.cluster.add_shard(shard_id)
+        subject = handoff.added[0]
+        self._install("scale-out", subject, old_router, handoff)
+        return subject
+
+    def start_remove(self, shard_id: str) -> str:
+        """Take a shard off the ring and start draining its data online.
+
+        The leaving shard stays instantiated — and keeps serving as an old
+        owner through the double-read window — until the last of its arcs
+        cuts over, at which point it is decommissioned.
+        """
+        old_router = self._snapshot_router()
+        router = self.cluster.router
+        if shard_id not in router:
+            raise ConfigurationError(f"shard {shard_id!r} not present")
+        if len(router) - 1 < self.cluster.replication_factor:
+            raise ConfigurationError(
+                f"removing {shard_id!r} would leave fewer shards than "
+                f"replication_factor={self.cluster.replication_factor}"
+            )
+        handoff = router.remove_shard(shard_id)
+        self._install("scale-in", shard_id, old_router, handoff)
+        return shard_id
+
+    def _install(
+        self,
+        direction: str,
+        subject: str,
+        old_router: ShardRouter,
+        handoff: HandoffStats,
+    ) -> None:
+        cluster = self.cluster
+        arcs = changed_arcs(old_router, cluster.router, cluster.replication_factor)
+        state = MigrationState(arcs, cluster.router, cluster.replication_factor)
+        seeded = 0
+        for key in cluster.tracked_keys:
+            arc = state.arc_for_hash(hash_key(key, seed=RING_SEED))
+            if arc is not None:
+                arc.keys.add(key)
+                arc.pending.add(key)
+                seeded += 1
+        self._state = state
+        self._direction = direction
+        self._subject = subject
+        self._handoff = handoff
+        self._steps = 0
+        self._blocked_retries = 0
+        self._keys_copied = 0
+        self._keys_retired = 0
+        self._keys_seeded = seeded
+        self.stalled_steps = 0
+        self._started_ms = cluster.clock.now_ms
+        cluster.migration = state
+        cluster.events.record(
+            "migration_started",
+            direction=direction,
+            shard=subject,
+            arcs=len(arcs),
+            keys=seeded,
+            moved_fraction=handoff.moved_fraction,
+        )
+        if cluster.telemetry is not None:
+            cluster.telemetry.counter("migrations_started").inc()
+
+    # -- Driving the migration ----------------------------------------------------------
+
+    def step(self, budget: Optional[int] = None) -> int:
+        """Attempt up to ``budget`` key copies; returns the keys confirmed.
+
+        Keys whose copy cannot be confirmed (no reachable old replica, or no
+        live new-ring replica to hold the value) are requeued for the next
+        step rather than dropped; an arc cuts over the moment its queue
+        drains; the migration completes — and on scale-in decommissions the
+        leaving shard — once every arc is done.
+        """
+        state = self._require_active()
+        budget = self.batch_size if budget is None else budget
+        if budget <= 0:
+            raise ConfigurationError("budget must be positive")
+        self._steps += 1
+        self._promote_arcs(state)
+        attempts = 0
+        copied = 0
+        blocked = 0
+        for arc in state.arcs:
+            if arc.state is not ArcState.MIGRATING:
+                continue
+            requeue: List[bytes] = []
+            while arc.pending and attempts < budget:
+                attempts += 1
+                key = arc.pending.pop()
+                if self._copy_key(arc, key):
+                    arc.copied += 1
+                    copied += 1
+                else:
+                    requeue.append(key)
+                    blocked += 1
+            arc.pending.update(requeue)
+            if not arc.pending:
+                self._cut_over(arc)
+            if attempts >= budget:
+                break
+        self._keys_copied += copied
+        self._blocked_retries += blocked
+        if copied == 0 and blocked > 0:
+            self.stalled_steps += 1
+        elif copied > 0:
+            self.stalled_steps = 0
+        self._promote_arcs(state)
+        if all(arc.state is ArcState.DONE for arc in state.arcs):
+            self._complete()
+        return copied
+
+    def run_to_completion(self, budget: Optional[int] = None) -> MigrationReport:
+        """Step until the migration completes; raise if it stalls."""
+        self._require_active()
+        while self.cluster.migration is not None:
+            self.step(budget)
+            if self.stalled_steps >= self.stall_limit:
+                raise ShardUnavailableError(
+                    f"migration of {self._subject!r} stalled: {self.stalled_steps} "
+                    "consecutive steps with every pending key blocked (no live "
+                    "replica to read from or confirm on)"
+                )
+        return self.reports[-1]
+
+    def _promote_arcs(self, state: MigrationState) -> None:
+        active = sum(1 for arc in state.arcs if arc.state is ArcState.MIGRATING)
+        for arc in state.arcs:
+            if active >= self.max_active_arcs:
+                break
+            if arc.state is ArcState.PENDING:
+                arc.state = ArcState.MIGRATING
+                active += 1
+
+    def _copy_key(self, arc: MigrationArc, key: bytes) -> bool:
+        """Copy one key to the arc's new owners; True once its copy is safe.
+
+        Reads old-first (the authoritative side), writes every new owner not
+        already holding the key, and falls back to confirming — and repairing
+        if needed — a surviving old owner that stays in the new preference
+        list.  Unreachable new owners get hinted-handoff entries, so a joining
+        shard killed mid-migration catches up on heal instead of losing keys.
+        """
+        cluster = self.cluster
+        answered = False
+        value: Optional[bytes] = None
+        for shard_id in arc.old_replicas:
+            if not cluster.is_live(shard_id):
+                continue
+            result = cluster._shard_op(shard_id, "lookup", key)
+            if result is None:
+                continue
+            answered = True
+            if result.found:
+                value = result.value
+                break
+        if not answered:
+            return False
+        if value is None:
+            # Deleted while queued (or never fully replicated): nothing to move.
+            arc.keys.discard(key)
+            return True
+        placed = False
+        for target in arc.new_replicas:
+            if target in arc.old_replicas:
+                continue
+            if (
+                cluster.is_live(target)
+                and cluster._shard_op(target, "insert", key, value) is not None
+            ):
+                placed = True
+            else:
+                cluster._record_hint(target, key)
+        if not placed:
+            # Every genuinely-new owner is unreachable.  The key is still safe
+            # if a surviving old owner remains in the new preference list (the
+            # prefix-stability guarantee at replication_factor >= 2): verify —
+            # and repair — that copy before counting the key as confirmed.
+            for survivor in arc.new_replicas:
+                if survivor not in arc.old_replicas or not cluster.is_live(survivor):
+                    continue
+                result = cluster._shard_op(survivor, "lookup", key)
+                if result is None:
+                    continue
+                if result.found:
+                    placed = True
+                    break
+                if cluster._shard_op(survivor, "insert", key, value) is not None:
+                    cluster.read_repairs += 1
+                    placed = True
+                    break
+        return placed
+
+    def _cut_over(self, arc: MigrationArc) -> None:
+        """Atomically retire one drained arc.
+
+        The state flip is the atomic step: from the next operation on, keys in
+        the arc route to the new owners only.  Copies on owners that left the
+        preference list are then deleted (a scale-in's leaving shard is
+        skipped — it is decommissioned wholesale at completion).
+        """
+        cluster = self.cluster
+        arc.state = ArcState.DONE
+        retiring = tuple(
+            shard_id
+            for shard_id in arc.old_replicas
+            if shard_id not in arc.new_replicas and shard_id != self._subject
+        )
+        for key in sorted(arc.keys):
+            for shard_id in retiring:
+                if not cluster.is_live(shard_id):
+                    continue
+                if cluster._shard_op(shard_id, "delete", key) is not None:
+                    arc.retired += 1
+        self._keys_retired += arc.retired
+        cluster.events.record(
+            "arc_cut_over",
+            shard=self._subject,
+            arc_start=f"{arc.start:016x}",
+            arc_end=f"{arc.end:016x}",
+            keys=len(arc.keys),
+            copied=arc.copied,
+            retired=arc.retired,
+        )
+
+    def _complete(self) -> MigrationReport:
+        cluster = self.cluster
+        state = self._state
+        report = MigrationReport(
+            direction=self._direction,
+            subject=self._subject,
+            arcs=len(state.arcs),
+            moved_fraction=self._handoff.moved_fraction,
+            keys_seeded=self._keys_seeded,
+            keys_copied=self._keys_copied,
+            keys_retired=self._keys_retired,
+            steps=self._steps,
+            blocked_retries=self._blocked_retries,
+            duration_ms=cluster.clock.now_ms - self._started_ms,
+        )
+        cluster.migration = None
+        self._state = None
+        if report.direction == "scale-in":
+            cluster.decommission_shard(report.subject)
+        cluster.events.record(
+            "migration_done",
+            direction=report.direction,
+            shard=report.subject,
+            keys_copied=report.keys_copied,
+            keys_retired=report.keys_retired,
+            steps=report.steps,
+        )
+        if cluster.telemetry is not None:
+            cluster.telemetry.counter("migrations_completed").inc()
+            cluster.telemetry.counter("migration_keys_copied").inc(report.keys_copied)
+        self.reports.append(report)
+        return report
+
+    def abort(self) -> None:
+        """Undo an in-flight migration that has not cut any arc over yet.
+
+        Scrubs the copies already streamed to the new owners (so an aborted
+        scale-out cannot resurrect deleted keys later), restores the old ring
+        and, for a scale-out, decommissions the half-joined shard.  Once an
+        arc has cut over its old copies are gone — the migration can only be
+        drained forward from there.
+        """
+        state = self._require_active()
+        if any(arc.state is ArcState.DONE for arc in state.arcs):
+            raise ConfigurationError(
+                "cannot abort: an arc already cut over (its old copies are "
+                "retired); drain the migration with run_to_completion instead"
+            )
+        cluster = self.cluster
+        scrubbed = 0
+        for arc in state.arcs:
+            for key in sorted(arc.keys):
+                for target in arc.new_replicas:
+                    if target in arc.old_replicas or not cluster.is_live(target):
+                        continue
+                    if cluster._shard_op(target, "delete", key) is not None:
+                        scrubbed += 1
+        cluster.migration = None
+        self._state = None
+        if self._direction == "scale-out":
+            cluster.router.remove_shard(self._subject)
+            cluster.decommission_shard(self._subject)
+        else:
+            cluster.router.add_shard(self._subject)
+        cluster.events.record(
+            "migration_aborted",
+            direction=self._direction,
+            shard=self._subject,
+            keys_scrubbed=scrubbed,
+        )
+
+
+@dataclass(frozen=True)
+class AutoscaleConfig:
+    """Thresholds and pacing for :class:`AutoscalePolicy`.
+
+    Scale-out triggers when any shard's operation share since the last
+    evaluation exceeds ``hot_shard_threshold`` times the mean *and* the worst
+    per-shard p99 is at least ``p99_scale_out_ms``.  Scale-in triggers when no
+    shard is hot, the worst p99 is at most ``p99_scale_in_ms`` and the load
+    imbalance is at most ``scale_in_imbalance`` — the fleet is provably
+    over-provisioned.  ``cooldown`` requests must pass after a decision before
+    the next one, and decisions are only evaluated every ``evaluate_every``
+    requests (and never while a migration is still in flight).
+    """
+
+    min_shards: int = 2
+    max_shards: int = 12
+    hot_shard_threshold: float = 1.5
+    p99_scale_out_ms: float = 0.0
+    p99_scale_in_ms: float = float("inf")
+    scale_in_imbalance: float = 1.2
+    evaluate_every: int = 50
+    cooldown: int = 200
+
+    def __post_init__(self) -> None:
+        if self.min_shards < 1:
+            raise ConfigurationError("min_shards must be at least 1")
+        if self.max_shards < self.min_shards:
+            raise ConfigurationError("max_shards must be at least min_shards")
+        if self.hot_shard_threshold < 1.0:
+            raise ConfigurationError("hot_shard_threshold must be at least 1")
+        if self.p99_scale_out_ms < 0 or self.p99_scale_in_ms < 0:
+            raise ConfigurationError("p99 thresholds must be non-negative")
+        if self.scale_in_imbalance < 1.0:
+            raise ConfigurationError("scale_in_imbalance must be at least 1")
+        if self.evaluate_every <= 0:
+            raise ConfigurationError("evaluate_every must be positive")
+        if self.cooldown < 0:
+            raise ConfigurationError("cooldown must be non-negative")
+
+
+@dataclass(frozen=True)
+class AutoscaleDecision:
+    """One membership change the policy decided on."""
+
+    action: str
+    shard: str
+    at_request: int
+    reason: str
+    p99_ms: float
+    hot_shards: Tuple[str, ...] = ()
+
+
+class AutoscalePolicy:
+    """Decides shard membership from live load and latency signals.
+
+    Reads each shard's registry ``operations`` counter (deltas between
+    evaluations — the same signal the simulator's hot-shard detector uses)
+    and the per-shard ``lookup_latency_ms`` / ``insert_latency_ms`` p99s, and
+    starts migrations through a :class:`KeyMigrator`.  Requires a
+    telemetry-enabled cluster.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterService,
+        migrator: KeyMigrator,
+        config: Optional[AutoscaleConfig] = None,
+    ) -> None:
+        if cluster.telemetry is None:
+            raise ConfigurationError(
+                "AutoscalePolicy needs a telemetry-enabled cluster "
+                "(config.telemetry_enabled=True) for its load and p99 signals"
+            )
+        self.cluster = cluster
+        self.migrator = migrator
+        self.config = config if config is not None else AutoscaleConfig()
+        #: Decisions taken, in order.
+        self.decisions: List[AutoscaleDecision] = []
+        self._baseline = self._ops_per_shard()
+        self._last_eval = 0
+        self._last_action: Optional[int] = None
+
+    def _ops_per_shard(self) -> Dict[str, float]:
+        return {
+            shard_id: clam.telemetry.counter("operations").value
+            for shard_id, clam in self.cluster.shards.items()
+            if clam.telemetry is not None
+        }
+
+    def fleet_p99_ms(self) -> float:
+        """Worst per-shard p99 over lookup and insert latency histograms."""
+        worst = 0.0
+        for clam in self.cluster.shards.values():
+            if clam.telemetry is None:
+                continue
+            for name in ("lookup_latency_ms", "insert_latency_ms"):
+                worst = max(worst, clam.telemetry.histogram(name).percentile(0.99))
+        return worst
+
+    def tick(self, at_request: int) -> Optional[AutoscaleDecision]:
+        """Evaluate the signals at the given request count; maybe act.
+
+        Returns the decision taken this tick, or None.  Call it once per
+        dispatched request (the :class:`TrafficSimulator` does); evaluation
+        and cooldown pacing are handled internally.
+        """
+        config = self.config
+        if at_request - self._last_eval < config.evaluate_every:
+            return None
+        self._last_eval = at_request
+        current = self._ops_per_shard()
+        loads = {
+            shard_id: value - self._baseline.get(shard_id, 0.0)
+            for shard_id, value in current.items()
+        }
+        self._baseline = current
+        if self.cluster.migration is not None:
+            return None
+        if self._last_action is not None and at_request - self._last_action < config.cooldown:
+            return None
+        live_loads = {
+            shard_id: load for shard_id, load in loads.items() if self.cluster.is_live(shard_id)
+        }
+        if not live_loads:
+            return None
+        mean = sum(live_loads.values()) / len(live_loads)
+        if mean <= 0:
+            return None
+        hot = sorted(
+            shard_id
+            for shard_id, load in live_loads.items()
+            if load > config.hot_shard_threshold * mean
+        )
+        p99 = self.fleet_p99_ms()
+        num_shards = len(self.cluster.router)
+        decision: Optional[AutoscaleDecision] = None
+        if hot and p99 >= config.p99_scale_out_ms and num_shards < config.max_shards:
+            subject = self.migrator.start_add()
+            decision = AutoscaleDecision(
+                action="scale-out",
+                shard=subject,
+                at_request=at_request,
+                reason=f"hot shards {hot} with fleet p99 {p99:.3f} ms",
+                p99_ms=p99,
+                hot_shards=tuple(hot),
+            )
+        elif (
+            not hot
+            and p99 <= config.p99_scale_in_ms
+            and num_shards > max(config.min_shards, self.cluster.replication_factor)
+        ):
+            imbalance = imbalance_factor(live_loads.values())
+            if imbalance <= config.scale_in_imbalance:
+                victim = min(live_loads, key=lambda shard_id: (live_loads[shard_id], shard_id))
+                self.migrator.start_remove(victim)
+                decision = AutoscaleDecision(
+                    action="scale-in",
+                    shard=victim,
+                    at_request=at_request,
+                    reason=(
+                        f"balanced fleet (imbalance {imbalance:.2f}) "
+                        f"with fleet p99 {p99:.3f} ms"
+                    ),
+                    p99_ms=p99,
+                )
+        if decision is not None:
+            self._last_action = at_request
+            self.decisions.append(decision)
+            self.cluster.events.record(
+                "autoscale_decision",
+                action=decision.action,
+                shard=decision.shard,
+                at_request=at_request,
+                reason=decision.reason,
+            )
+        return decision

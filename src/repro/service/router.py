@@ -116,6 +116,13 @@ class ShardRouter:
         """Current shard names, sorted."""
         return tuple(sorted(self._shards))
 
+    def boundary_points(self) -> Tuple[int, ...]:
+        """Sorted ring points.  Routing — and therefore every preference
+        list — is constant on each arc between consecutive points, which is
+        what lets the rebalancing layer compute *exact* migration arcs by
+        segmenting the ring at the union of two rings' boundary points."""
+        return tuple(self._points)
+
     def __len__(self) -> int:
         return len(self._shards)
 
@@ -172,16 +179,28 @@ class ShardRouter:
         ``n`` is clamped to the number of shards, so a 2-shard ring answers a
         request for 3 replicas with both shards.
         """
+        return self.preference_at(hash_key(key, seed=RING_SEED), n)
+
+    def preference_at(self, position: int, n: int) -> Tuple[str, ...]:
+        """First ``n`` distinct shards on the ring at or after ``position``.
+
+        The ring-position form of :meth:`preference_list` (which hashes a key
+        and delegates here).  Because routing is piecewise constant between
+        ring points, calling this at an arc's inclusive end point yields the
+        preference list shared by *every* key hashing into that arc — the
+        exactness the rebalancing layer's migration-arc computation relies
+        on (see :func:`repro.service.rebalance.changed_arcs`).
+        """
         if n <= 0:
             raise ConfigurationError("preference list size must be positive")
         limit = min(n, len(self._shards))
-        position = bisect_left(self._points, hash_key(key, seed=RING_SEED))
-        if position == len(self._points):
-            position = 0
+        index = bisect_left(self._points, position)
+        if index == len(self._points):
+            index = 0
         preference: List[str] = []
         seen = set()
         for offset in range(len(self._points)):
-            owner = self._owners[self._points[(position + offset) % len(self._points)]]
+            owner = self._owners[self._points[(index + offset) % len(self._points)]]
             if owner not in seen:
                 seen.add(owner)
                 preference.append(owner)

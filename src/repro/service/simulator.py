@@ -36,6 +36,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.errors import ConfigurationError, ShardUnavailableError
 from repro.service.cluster import ClusterService, imbalance_factor
+from repro.service.rebalance import AutoscaleDecision, AutoscalePolicy, KeyMigrator, MigrationReport
 from repro.service.recovery import RecoveryCoordinator, RecoveryReport
 from repro.workloads.keygen import ZipfKeyGenerator, fingerprint_for
 from repro.workloads.metrics import LatencySummary, summarize_latencies
@@ -117,7 +118,7 @@ class TrafficSpec:
 
 
 #: Actions a :class:`FailureEvent` may take.
-_FAILURE_ACTIONS = ("fail", "heal", "recover")
+_FAILURE_ACTIONS = ("fail", "heal", "recover", "scale-out", "scale-in")
 
 
 @dataclass(frozen=True)
@@ -134,9 +135,14 @@ class FailureEvent:
         (:meth:`ClusterService.fail_shard`), ``"heal"`` clears it
         (:meth:`ClusterService.heal_shard`), ``"recover"`` runs a
         :class:`~repro.service.recovery.RecoveryCoordinator` pass over
-        whatever shards the error counters have marked down.
+        whatever shards the error counters have marked down, ``"scale-out"``
+        starts an online migration onto a joining shard and ``"scale-in"``
+        starts draining ``shard_id`` off the ring (both through the
+        simulator's :class:`~repro.service.rebalance.KeyMigrator`, stepped
+        between requests so the move overlaps live traffic).
     shard_id:
-        Target shard (required for ``fail``/``heal``; ignored by
+        Target shard (required for ``fail``/``heal``/``scale-in``; optional
+        for ``scale-out``, which auto-names the joining shard; ignored by
         ``recover``).
     mode:
         Fault flavour for ``fail`` — see :meth:`ClusterService.fail_shard`.
@@ -154,7 +160,7 @@ class FailureEvent:
             raise ConfigurationError(
                 f"action must be one of {_FAILURE_ACTIONS}, got {self.action!r}"
             )
-        if self.action in ("fail", "heal") and self.shard_id is None:
+        if self.action in ("fail", "heal", "scale-in") and self.shard_id is None:
             raise ConfigurationError(f"{self.action!r} events need a shard_id")
 
 
@@ -198,6 +204,11 @@ class TrafficReport:
     fired_events: List[Tuple[int, str, Optional[str]]] = field(default_factory=list)
     #: Reports from scheduled ``recover`` events, in firing order.
     recovery_reports: List[RecoveryReport] = field(default_factory=list)
+    #: Reports of migrations completed during the run (scheduled scale events
+    #: and autoscaler decisions alike), in completion order.
+    migrations: List[MigrationReport] = field(default_factory=list)
+    #: Decisions the attached autoscale policy took during the run.
+    autoscale_decisions: List[AutoscaleDecision] = field(default_factory=list)
 
     @property
     def availability(self) -> float:
@@ -290,12 +301,29 @@ class TrafficSimulator:
         cluster: ClusterService,
         spec: Optional[TrafficSpec] = None,
         schedule: Optional[Sequence[FailureEvent]] = None,
+        migrator: Optional[KeyMigrator] = None,
+        autoscaler: Optional[AutoscalePolicy] = None,
     ) -> None:
         self.cluster = cluster
         self.spec = spec if spec is not None else TrafficSpec()
         self.schedule = sorted(schedule or (), key=lambda event: event.at_request)
         #: Coordinator shared by every scheduled ``recover`` event.
         self.recovery = RecoveryCoordinator(cluster)
+        #: Migrator driving scheduled ``scale-out``/``scale-in`` events (and
+        #: any :class:`~repro.service.rebalance.AutoscalePolicy` decisions);
+        #: its :meth:`~repro.service.rebalance.KeyMigrator.step` is called
+        #: once per dispatched request while a migration is in flight, so the
+        #: move genuinely overlaps foreground traffic.
+        if migrator is None and autoscaler is not None:
+            migrator = autoscaler.migrator
+        self.migrator = migrator if migrator is not None else KeyMigrator(cluster)
+        #: Optional autoscale policy ticked on every dispatched request.
+        self.autoscaler = autoscaler
+        if autoscaler is not None and autoscaler.migrator is not self.migrator:
+            raise ConfigurationError(
+                "the autoscaler and the simulator must share one KeyMigrator "
+                "(the simulator steps whatever migration the policy starts)"
+            )
 
     def warmup(self, num_keys: Optional[int] = None) -> int:
         """Pre-populate the cluster with the hottest Zipf keys.
@@ -349,6 +377,12 @@ class TrafficSimulator:
                     break
                 next_event += 1
                 self._fire_event(event, report)
+            if self.autoscaler is not None:
+                decision = self.autoscaler.tick(issued)
+                if decision is not None:
+                    report.autoscale_decisions.append(decision)
+            if self.cluster.migration is not None:
+                self.migrator.step()
             client_time, client_id = heapq.heappop(ready)
             client_report = reports[client_id]
             issued += 1
@@ -397,6 +431,13 @@ class TrafficSimulator:
             self._fire_event(self.schedule[next_event], report)
             next_event += 1
 
+        # A migration still in flight when the workload ends is drained: the
+        # run's contract is that every started membership change completes
+        # (or raises if it stalled with nowhere to place keys).
+        if self.cluster.migration is not None:
+            self.migrator.run_to_completion()
+        report.migrations = list(self.migrator.reports)
+
         report.clients = reports
         report.duration_ms = max((c.finish_time_ms for c in reports), default=0.0)
         report.hot_shards = self._detect_hot_shards(report)
@@ -414,6 +455,15 @@ class TrafficSimulator:
             self.cluster.fail_shard(event.shard_id, mode=event.mode)
         elif event.action == "heal":
             self.cluster.heal_shard(event.shard_id)
+        elif event.action in ("scale-out", "scale-in"):
+            # One membership change at a time: a still-running migration is
+            # drained before the next scheduled one starts.
+            if self.cluster.migration is not None:
+                self.migrator.run_to_completion()
+            if event.action == "scale-out":
+                self.migrator.start_add(event.shard_id)
+            else:
+                self.migrator.start_remove(event.shard_id)
         else:  # "recover"
             report.recovery_reports.append(self.recovery.recover())
         report.fired_events.append((event.at_request, event.action, event.shard_id))
