@@ -1,0 +1,363 @@
+"""Process-per-shard parallel cluster: multi-core scaling + parity + kill drill.
+
+The in-process :class:`ClusterService` is deterministic but single-core; the
+:class:`ParallelClusterService` puts every shard's CLAM in its own worker
+process behind the length-prefixed wire protocol.  This benchmark enforces
+the deployment's three contracts end to end:
+
+* **Scaling** — the Zipf and WAN-optimizer-style batched workloads at 1, 2
+  and 4 worker processes.  Two throughput numbers are reported honestly:
+  ``wall_ops_per_sec`` (bounded by ``cores_available`` on the runner — a
+  one-core CI box cannot show wall-clock speedup) and
+  ``aggregate_ops_per_sec`` — total operations divided by the **busiest
+  worker's CPU seconds**, i.e. the rate the fleet sustains when every worker
+  has a core of its own.  The full run asserts the 4-worker aggregate beats
+  the 1-worker aggregate by at least 2x on the same workload.
+* **Parity** — the bit-identical results contract: the same deterministic
+  mixed workload (single ops + batches at RF=2) through both deployments
+  must produce exactly equal result records, merged counters and ensemble
+  clock readings.
+* **Kill drill** — SIGKILL a worker at RF=2 under acknowledged writes: zero
+  lost keys while down, supervisor detection, a clean ``restart_worker``
+  rejoin with hint replay, zero lost keys after restart.
+
+``--quick`` shrinks the scaling workloads (parity and drill run at full,
+fixed sizes — they are the machine-invariant ratchet surface), writes
+``BENCH_parallel_cluster_quick.json`` and ratchets it against the committed
+``BENCH_parallel_cluster.json`` via :mod:`benchmarks.ratchet`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+
+from benchmarks.common import (
+    add_telemetry_arg,
+    dump_telemetry,
+    print_table,
+    standard_config,
+    write_bench_json,
+)
+from benchmarks.ratchet import REGISTRY, check_spec
+from repro.service import ClusterService, ParallelClusterService
+from repro.telemetry.schema import validate_snapshot
+from repro.workloads.keygen import ZipfKeyGenerator, fingerprint_for
+from repro.workloads.workload import Operation, OpKind
+
+WORKER_COUNTS = (1, 2, 4)
+BATCH_SIZE = 64
+
+ZIPF_OPS = 24_000
+ZIPF_KEY_SPACE = 6_000
+ZIPF_SKEW = 1.1
+ZIPF_LOOKUP_EVERY = 3  # one lookup batch per N batches is an insert batch
+
+WANOPT_ROUNDS = 120
+WANOPT_FINGERPRINTS_PER_OBJECT = 64
+WANOPT_DEDUP_WINDOW = 40  # objects re-reference fingerprints this far back
+
+PARITY_OPS = 480
+PARITY_SHARDS = 4
+PARITY_RF = 2
+
+DRILL_KEYS = 300
+DRILL_SHARDS = 4
+DRILL_RF = 2
+
+
+def build_parallel(num_shards: int, replication_factor: int = 1, telemetry: bool = False):
+    return ParallelClusterService(
+        num_shards=num_shards,
+        config=standard_config(telemetry_enabled=telemetry),
+        replication_factor=replication_factor,
+    )
+
+
+def zipf_batches(total_ops: int, seed: int = 11):
+    """Deterministic Zipf traffic: mostly lookup batches, periodic inserts."""
+    generator = ZipfKeyGenerator(ZIPF_KEY_SPACE, skew=ZIPF_SKEW, seed=seed)
+    batches = []
+    emitted = 0
+    batch_index = 0
+    while emitted < total_ops:
+        size = min(BATCH_SIZE, total_ops - emitted)
+        keys = [generator.next_key() for _ in range(size)]
+        if batch_index % ZIPF_LOOKUP_EVERY == 0:
+            batch = [Operation(OpKind.INSERT, key, b"zipf-value") for key in keys]
+        else:
+            batch = [Operation(OpKind.LOOKUP, key) for key in keys]
+        batches.append(batch)
+        emitted += size
+        batch_index += 1
+    return batches
+
+
+def wanopt_batches(rounds: int):
+    """WAN-optimizer shape: per object, one lookup batch then insert misses.
+
+    Each "object" is a run of fingerprints partially shared with recent
+    objects (the dedup window), so lookups hit for re-referenced chunks and
+    the insert batch covers only the genuinely new ones — the
+    lookup-then-insert round trip of the branch-office compression engine.
+    """
+    batches = []
+    next_chunk = 0
+    for round_index in range(rounds):
+        fingerprints = []
+        for position in range(WANOPT_FINGERPRINTS_PER_OBJECT):
+            if position % 3 == 0 and next_chunk > WANOPT_DEDUP_WINDOW:
+                identifier = next_chunk - WANOPT_DEDUP_WINDOW + (position % 7)
+            else:
+                identifier = next_chunk
+                next_chunk += 1
+            fingerprints.append(fingerprint_for(identifier, namespace=b"wanopt"))
+        batches.append([Operation(OpKind.LOOKUP, fp) for fp in fingerprints])
+        batches.append(
+            [Operation(OpKind.INSERT, fp, b"chunk-addr") for fp in fingerprints]
+        )
+    return batches
+
+
+def run_scaling_workload(name: str, batches, worker_counts=WORKER_COUNTS):
+    """Drive the same batch stream at each worker count; measure both rates."""
+    rows = []
+    total_ops = sum(len(batch) for batch in batches)
+    for workers in worker_counts:
+        cluster = build_parallel(num_shards=workers)
+        try:
+            cpu_before = cluster.worker_cpu_seconds()
+            wall_start = time.monotonic()
+            for batch in batches:
+                cluster.execute_batch(batch)
+            wall_seconds = time.monotonic() - wall_start
+            cpu_after = cluster.worker_cpu_seconds()
+        finally:
+            cluster.close()
+        worker_cpu = {
+            shard_id: cpu_after[shard_id] - cpu_before.get(shard_id, 0.0)
+            for shard_id in cpu_after
+        }
+        busiest_cpu = max(worker_cpu.values())
+        rows.append(
+            {
+                "workers": workers,
+                "operations": total_ops,
+                "wall_seconds": round(wall_seconds, 4),
+                "wall_ops_per_sec": round(total_ops / wall_seconds, 1),
+                "worker_cpu_seconds": {
+                    shard_id: round(seconds, 4)
+                    for shard_id, seconds in sorted(worker_cpu.items())
+                },
+                "busiest_worker_cpu_seconds": round(busiest_cpu, 4),
+                "aggregate_ops_per_sec": round(total_ops / busiest_cpu, 1),
+            }
+        )
+    base = rows[0]["aggregate_ops_per_sec"]
+    for row in rows:
+        row["aggregate_speedup_vs_1"] = round(row["aggregate_ops_per_sec"] / base, 3)
+    return {"workload": name, "rows": rows}
+
+
+def run_parity():
+    """The bit-identical contract, measured: in-process vs process mode."""
+
+    def drive(cluster):
+        records = []
+        for index in range(PARITY_OPS // 4):
+            records.append(cluster.insert(b"parity-%d" % index, b"value-%d" % index))
+        batch = [
+            Operation(OpKind.LOOKUP, b"parity-%d" % index)
+            if index % 3
+            else Operation(OpKind.UPDATE, b"parity-%d" % index, b"update-%d" % index)
+            for index in range(PARITY_OPS // 4)
+        ]
+        records.extend(cluster.execute_batch(batch).results)
+        for index in range(0, PARITY_OPS // 4, 2):
+            records.append(cluster.delete(b"parity-%d" % index))
+        for index in range(PARITY_OPS // 4):
+            records.append(cluster.lookup(b"parity-%d" % index))
+        return records
+
+    reference = ClusterService(
+        num_shards=PARITY_SHARDS,
+        config=standard_config(telemetry_enabled=True),
+        replication_factor=PARITY_RF,
+    )
+    expected = drive(reference)
+    parallel = build_parallel(
+        num_shards=PARITY_SHARDS, replication_factor=PARITY_RF, telemetry=True
+    )
+    try:
+        actual = drive(parallel)
+        mismatches = sum(1 for got, want in zip(actual, expected) if got != want)
+        mismatches += abs(len(actual) - len(expected))
+        counters_identical = parallel.stats.combined() == reference.stats.combined()
+        clock_identical = parallel.clock.now_ms == reference.clock.now_ms
+        snapshot = parallel.telemetry_snapshot(include_buckets=False)
+        validate_snapshot(snapshot)
+        telemetry_identical = snapshot["per_shard"] == (
+            reference.telemetry_snapshot(include_buckets=False)["per_shard"]
+        )
+    finally:
+        parallel.close()
+    return {
+        "operations": len(expected),
+        "mismatches": mismatches,
+        "results_identical": int(mismatches == 0),
+        "counters_identical": int(counters_identical),
+        "clock_identical": int(clock_identical),
+        "telemetry_identical": int(telemetry_identical),
+    }, snapshot
+
+
+def run_kill_drill():
+    """SIGKILL a worker at RF=2: acknowledged writes must all survive."""
+    cluster = build_parallel(num_shards=DRILL_SHARDS, replication_factor=DRILL_RF)
+    try:
+        keys = [fingerprint_for(identifier, namespace=b"drill") for identifier in range(DRILL_KEYS)]
+        for key in keys:
+            cluster.insert(key, b"drill-value")
+        victim = cluster.shard_for(keys[0])
+        cluster.kill_worker(victim)
+        detected = cluster.check_workers()
+        batch = cluster.execute_batch([Operation(OpKind.LOOKUP, key) for key in keys])
+        lost_while_down = sum(1 for result in batch.results if not result.found)
+        # Writes issued while the worker is down become hinted handoffs …
+        for key in keys[: DRILL_KEYS // 4]:
+            cluster.insert(key, b"while-down")
+        report = cluster.restart_worker(victim)
+        # … replayed on restart, so the rejoined worker serves current data.
+        lost_after_restart = sum(
+            1 for key in keys if not cluster.lookup(key).found
+        )
+        event_kinds = [event.kind for event in cluster.events]
+        outcome = {
+            "seeded_keys": DRILL_KEYS,
+            "victim": victim,
+            "supervisor_detected": int(detected == [victim]),
+            "lost_keys_while_down": lost_while_down,
+            "failover_retries": batch.retried_operations,
+            "hinted_handoffs_replayed": cluster.hinted_handoffs,
+            "worker_restarted": int(report is None and victim not in cluster.down_shard_ids),
+            "lost_keys_after_restart": lost_after_restart,
+            "events_seen": int(
+                "worker_killed" in event_kinds
+                and "worker_died" in event_kinds
+                and "worker_restarted" in event_kinds
+            ),
+        }
+    finally:
+        cluster.close()
+    return outcome
+
+
+def check_invariants(parity, drill, scaling, quick: bool) -> None:
+    """The contracts this deployment ships under."""
+    assert parity["results_identical"] == 1, parity
+    assert parity["mismatches"] == 0, parity
+    assert parity["counters_identical"] == 1, parity
+    assert parity["clock_identical"] == 1, parity
+    assert parity["telemetry_identical"] == 1, parity
+    assert drill["lost_keys_while_down"] == 0, drill
+    assert drill["lost_keys_after_restart"] == 0, drill
+    assert drill["supervisor_detected"] == 1, drill
+    assert drill["worker_restarted"] == 1, drill
+    assert drill["events_seen"] == 1, drill
+    if not quick:
+        # The acceptance bar: >= 2x aggregate ops/sec at 4 workers vs 1.
+        for workload in scaling:
+            four = next(r for r in workload["rows"] if r["workers"] == 4)
+            assert four["aggregate_speedup_vs_1"] >= 2.0, (
+                workload["workload"],
+                four,
+            )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller scaling workloads for CI smoke runs"
+    )
+    add_telemetry_arg(parser)
+    args = parser.parse_args()
+    global ZIPF_OPS, WANOPT_ROUNDS
+    if args.quick:
+        ZIPF_OPS = 4_800
+        WANOPT_ROUNDS = 24
+
+    scaling = [
+        run_scaling_workload("zipf", zipf_batches(ZIPF_OPS)),
+        run_scaling_workload("wanopt", wanopt_batches(WANOPT_ROUNDS)),
+    ]
+    parity, telemetry = run_parity()
+    drill = run_kill_drill()
+    check_invariants(parity, drill, scaling, quick=args.quick)
+
+    for workload in scaling:
+        print_table(
+            f"Process-per-shard scaling: {workload['workload']} workload",
+            ["workers", "ops", "wall ops/s", "busiest cpu s", "aggregate ops/s", "speedup"],
+            [
+                (
+                    row["workers"],
+                    row["operations"],
+                    row["wall_ops_per_sec"],
+                    row["busiest_worker_cpu_seconds"],
+                    row["aggregate_ops_per_sec"],
+                    row["aggregate_speedup_vs_1"],
+                )
+                for row in workload["rows"]
+            ],
+        )
+    print_table(
+        "Parity and worker-kill drill",
+        ["check", "value"],
+        [
+            ("parity ops", parity["operations"]),
+            ("parity mismatches", parity["mismatches"]),
+            ("lost keys while down", drill["lost_keys_while_down"]),
+            ("lost keys after restart", drill["lost_keys_after_restart"]),
+            ("failover retries", drill["failover_retries"]),
+        ],
+    )
+
+    name = "parallel_cluster_quick" if args.quick else "parallel_cluster"
+    path = write_bench_json(
+        name,
+        {
+            "spec": {
+                "worker_counts": list(WORKER_COUNTS),
+                "batch_size": BATCH_SIZE,
+                "zipf_ops": ZIPF_OPS,
+                "zipf_key_space": ZIPF_KEY_SPACE,
+                "zipf_skew": ZIPF_SKEW,
+                "wanopt_rounds": WANOPT_ROUNDS,
+                "wanopt_fingerprints_per_object": WANOPT_FINGERPRINTS_PER_OBJECT,
+                "parity_operations": PARITY_OPS,
+                "parity_replication_factor": PARITY_RF,
+                "drill_keys": DRILL_KEYS,
+                "cores_available": os.cpu_count(),
+            },
+            "scaling": scaling,
+            "parity": parity,
+            "drill": drill,
+        },
+        telemetry=telemetry,
+    )
+    print(f"wrote {path}")
+    dump_telemetry(args.telemetry_out, telemetry)
+    if args.quick:
+        checks = check_spec(REGISTRY["parallel_cluster"])
+        if checks:
+            print(
+                f"ratchet ok: {len(checks)} metric checks against "
+                "BENCH_parallel_cluster.json"
+            )
+        else:
+            print("ratchet skipped: no committed BENCH_parallel_cluster.json yet")
+
+
+if __name__ == "__main__":
+    main()

@@ -183,6 +183,36 @@ REGISTRY: Dict[str, RatchetSpec] = {
             Metric("churn.migration_steps", "min-value", 1),
         ),
     ),
+    "parallel_cluster": RatchetSpec(
+        name="parallel_cluster",
+        fresh="parallel_cluster_quick",
+        committed="parallel_cluster",
+        metrics=(
+            # The bit-identical contract: process mode must reproduce the
+            # in-process deployment's results, counters and clocks exactly.
+            # Parity runs at a fixed size in quick and full modes, so these
+            # are workload-shape constants, not throughput numbers.
+            Metric("parity.results_identical", "exact"),
+            Metric("parity.results_identical", "min-value", 1),
+            Metric("parity.mismatches", "max-value", 0),
+            Metric("parity.counters_identical", "min-value", 1),
+            Metric("parity.clock_identical", "min-value", 1),
+            Metric("parity.telemetry_identical", "min-value", 1),
+            Metric("parity.operations", "exact"),
+            # The worker-kill drill at RF=2: acknowledged writes survive a
+            # SIGKILL, the supervisor notices, and the restarted worker
+            # rejoins with its hint backlog replayed.
+            Metric("drill.lost_keys_while_down", "max-value", 0),
+            Metric("drill.lost_keys_after_restart", "max-value", 0),
+            Metric("drill.supervisor_detected", "min-value", 1),
+            Metric("drill.worker_restarted", "min-value", 1),
+            Metric("drill.events_seen", "min-value", 1),
+            Metric("drill.seeded_keys", "exact"),
+            # The deployment shape itself is part of the contract.
+            Metric("spec.worker_counts", "exact"),
+            Metric("spec.parity_replication_factor", "exact"),
+        ),
+    ),
 }
 
 

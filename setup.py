@@ -15,7 +15,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-bufferhash",
-    version="1.6.0",
+    version="1.7.0",
     description=(
         "Reproduction of 'Cheap and Large CAMs for High Performance "
         "Data-Intensive Networked Systems' (BufferHash/CLAM, NSDI 2010) "

@@ -28,10 +28,13 @@ from repro.core.durable import (
 from repro.core.errors import (
     BufferHashError,
     CapacityError,
+    ClusterCloseError,
     ConfigurationError,
     KeyTooLargeError,
     PowerLossError,
     TornPageError,
+    WireProtocolError,
+    WorkerDiedError,
 )
 from repro.core.eviction import (
     EvictionContext,
@@ -90,10 +93,13 @@ __all__ = [
     "write_superblock",
     "BufferHashError",
     "CapacityError",
+    "ClusterCloseError",
     "ConfigurationError",
     "KeyTooLargeError",
     "PowerLossError",
     "TornPageError",
+    "WireProtocolError",
+    "WorkerDiedError",
     "CrashRecoveryReport",
     "DurableCLAM",
     "EvictionContext",

@@ -49,3 +49,31 @@ class ShardUnavailableError(BufferHashError):
     """Raised by the service layer when an operation has no live replica left
     to run on — every shard in the key's preference list is failed or has been
     removed from the cluster (see :mod:`repro.service.cluster`)."""
+
+
+class WireProtocolError(BufferHashError):
+    """Raised when a frame on the shard wire protocol cannot be decoded —
+    version mismatch, unknown frame type, a length prefix past the frame
+    size limit, or a worker-side failure with no finer-grained error code
+    (see :mod:`repro.service.wire`)."""
+
+
+class WorkerDiedError(DeviceFailedError):
+    """Raised when the process hosting a shard dies mid-conversation (EOF or
+    a broken pipe on its socket).  Subclasses :class:`DeviceFailedError` so
+    the cluster's replica failover, hinted handoff and health accounting
+    treat a dead worker exactly like a crash-stopped device."""
+
+
+class ClusterCloseError(BufferHashError):
+    """Raised by ``ClusterService.close()`` after attempting to close *every*
+    shard when one or more of them failed to close.  Carries the per-shard
+    failures so no error is silently dropped and no later shard's file handle
+    is leaked because an earlier shard raised."""
+
+    def __init__(self, failures) -> None:
+        self.failures = list(failures)
+        detail = "; ".join(
+            f"{shard_id}: {type(error).__name__}: {error}" for shard_id, error in self.failures
+        )
+        super().__init__(f"failed to close {len(self.failures)} shard(s): {detail}")

@@ -31,6 +31,7 @@ operation.
 
 from __future__ import annotations
 
+import struct
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Tuple, Union
 
@@ -244,6 +245,43 @@ class KeyDigest:
             positions = [((h1 + i * h2) & _MASK64) % modulus for i in range(count)]
             self._positions[key] = positions
         return positions
+
+    def to_wire(self) -> bytes:
+        """Serialise for the shard wire protocol (:mod:`repro.service.wire`).
+
+        Carries the canonical key bytes plus every seeded digest memoised so
+        far, so a worker process that receives the key resumes with the hash
+        work the client side already paid for.  Derived Bloom positions are
+        geometry-dependent and cheap to re-derive from the digests, so they
+        do not travel.  The format is little-endian: a 4-byte key length, the
+        key bytes, a 1-byte memo count, then ``(seed, digest)`` pairs of 8
+        bytes each, in ascending seed order (deterministic framing).
+        """
+        seeded = self._seeded
+        if len(seeded) > 255:  # pragma: no cover - ~10 seeds exist in the codebase
+            seeded = dict(sorted(seeded.items())[:255])
+        parts = [struct.pack("<IB", len(self.data), len(seeded)), self.data]
+        for seed, value in sorted(seeded.items()):
+            parts.append(struct.pack("<QQ", seed, value))
+        return b"".join(parts)
+
+    @classmethod
+    def from_wire(cls, payload: bytes, offset: int = 0) -> Tuple["KeyDigest", int]:
+        """Inverse of :meth:`to_wire`; returns the digest and the next offset.
+
+        The memoised seeds are restored verbatim.  Digests are value-pure
+        (a seeded digest depends only on the key bytes), so a restored memo
+        can never change behaviour — only skip recomputation on the worker.
+        """
+        key_len, seed_count = struct.unpack_from("<IB", payload, offset)
+        offset += 5
+        digest = cls(bytes(payload[offset : offset + key_len]))
+        offset += key_len
+        for _ in range(seed_count):
+            seed, value = struct.unpack_from("<QQ", payload, offset)
+            digest._seeded[seed] = value
+            offset += 16
+        return digest, offset
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"KeyDigest({self.data!r}, seeds={sorted(self._seeded)})"

@@ -47,6 +47,7 @@ from repro.service.batch import (
     ShardBatchStats,
 )
 from repro.service.cluster import ClusterService, ClusterStats
+from repro.service.parallel import ParallelBatchExecutor, ParallelClusterService, RemoteShard
 from repro.service.rebalance import (
     ArcState,
     AutoscaleConfig,
@@ -76,6 +77,9 @@ __all__ = [
     "DEFAULT_ROUTING_COST_MS",
     "ClusterService",
     "ClusterStats",
+    "ParallelBatchExecutor",
+    "ParallelClusterService",
+    "RemoteShard",
     "ShardRouter",
     "HandoffStats",
     "RING_SPACE",

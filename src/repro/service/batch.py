@@ -264,16 +264,7 @@ class BatchExecutor:
                     )
 
             while groups:
-                failed_slots: List[_Slot] = []
-                for shard_id, slots in groups.items():
-                    stats, leftover = self._execute_sub_batch(shard_id, slots, batch.results)
-                    if stats is not None:
-                        self._merge_shard_stats(batch, stats)
-                    if leftover:
-                        if shard_id not in batch.failed_shards:
-                            batch.failed_shards.append(shard_id)
-                        failed_slots.extend(leftover)
-                groups = self._reroute(failed_slots, batch)
+                groups = self._reroute(self._dispatch_round(groups, batch), batch)
         except ShardUnavailableError as error:
             # Operations the batch already applied are on shards; hand their
             # result records to the caller (the cluster's key catalog must
@@ -286,6 +277,29 @@ class BatchExecutor:
             (stats.total_ms for stats in batch.per_shard.values()), default=0.0
         )
         return batch
+
+    def _dispatch_round(
+        self, groups: Dict[str, List[_Slot]], batch: BatchResult
+    ) -> List[_Slot]:
+        """Execute one round of per-shard sub-batches; returns the failed slots.
+
+        The base implementation runs sub-batches serially on the caller's
+        thread — the deterministic single-process path.  The process-per-shard
+        deployment overrides exactly this hook with a scatter/gather over
+        worker sockets (:class:`repro.service.parallel.ParallelBatchExecutor`)
+        while reusing all the routing, retry and accounting machinery around
+        it, which is what keeps the two modes' results bit-identical.
+        """
+        failed_slots: List[_Slot] = []
+        for shard_id, slots in groups.items():
+            stats, leftover = self._execute_sub_batch(shard_id, slots, batch.results)
+            if stats is not None:
+                self._merge_shard_stats(batch, stats)
+            if leftover:
+                if shard_id not in batch.failed_shards:
+                    batch.failed_shards.append(shard_id)
+                failed_slots.extend(leftover)
+        return failed_slots
 
     def _reroute(self, failed_slots: List[_Slot], batch: BatchResult) -> Dict[str, List[_Slot]]:
         """Re-dispatch the operations a failed shard left behind.
@@ -369,6 +383,8 @@ class BatchExecutor:
         )
         started_ms = clock.now_ms if clock is not None else 0.0
         fallback_busy_ms = 0.0
+        leftover: List[_Slot] = []
+        completed = False
         try:
             for position, slot in enumerate(slots):
                 slot.attempted.add(shard_id)
@@ -397,24 +413,23 @@ class BatchExecutor:
                 stats.operations += 1
                 _count(stats, slot.operation.kind, result)
                 fallback_busy_ms += getattr(result, "latency_ms", 0.0)
+            completed = True
+        finally:
+            # The span must close on *every* exit — a DeviceFailedError that
+            # propagates in stand-alone mode, but also any unexpected
+            # exception from a shard operation; leaving it open would
+            # mis-parent (or, before Tracer.end grew its stack guard, orphan)
+            # every span the next operation opens.
+            if clock is not None:
+                stats.busy_ms = clock.now_ms - started_ms
             else:
-                leftover = []
-        except DeviceFailedError:
-            # Stand-alone mode propagates the failure; close the span so the
-            # trace stack stays balanced for the caller's surviving spans.
+                stats.busy_ms = fallback_busy_ms
             if span is not None:
-                span.attributes["failed"] = True
+                if leftover or not completed:
+                    span.attributes["failed"] = True
+                if leftover:
+                    span.attributes["operations_completed"] = stats.operations
                 tracer.end(span, clock)
-            raise
-        if clock is not None:
-            stats.busy_ms = clock.now_ms - started_ms
-        else:
-            stats.busy_ms = fallback_busy_ms
-        if span is not None:
-            if leftover:
-                span.attributes["failed"] = True
-                span.attributes["operations_completed"] = stats.operations
-            tracer.end(span, clock)
         return stats, leftover
 
 

@@ -37,6 +37,7 @@ from repro.core.clam import CLAM
 from repro.core.recovery import CrashRecoveryReport, DurableCLAM
 from repro.core.config import CLAMConfig
 from repro.core.errors import (
+    ClusterCloseError,
     ConfigurationError,
     DeviceFailedError,
     ShardUnavailableError,
@@ -308,19 +309,27 @@ class ClusterService:
         for name in names:
             self._build_shard(name)
         self.router = ShardRouter(names, virtual_nodes=virtual_nodes)
-        self.executor = BatchExecutor(
+        self.executor = self._build_executor(dispatch_overhead_ms, routing_cost_ms)
+        self.stats = ClusterStats(self.shards, service=self)
+
+    def _build_executor(
+        self, dispatch_overhead_ms: float, routing_cost_ms: float
+    ) -> BatchExecutor:
+        """Construct the batch executor; the process-per-shard deployment
+        overrides this to install its scatter/gather executor with the same
+        hooks (same routing, failover and accounting — the results contract)."""
+        return BatchExecutor(
             self.router,
             self.shards,
             dispatch_overhead_ms=dispatch_overhead_ms,
             routing_cost_ms=routing_cost_ms,
             hash_once=self.config.use_hash_once,
-            replication_factor=replication_factor,
+            replication_factor=self.replication_factor,
             is_live=self.is_live,
             on_shard_error=self.record_shard_error,
             on_missed_write=self._record_hint,
             targets_for=self._op_replicas,
         )
-        self.stats = ClusterStats(self.shards, service=self)
 
     def shard_path(self, shard_id: str) -> str:
         """Backing file of a persistent shard."""
@@ -407,6 +416,12 @@ class ClusterService:
         """
         if shard_id not in self.shards:
             raise ConfigurationError(f"shard {shard_id!r} not present")
+        self._inject_fault(shard_id, mode, fault_kwargs)
+        self.events.record("failure_injected", shard=shard_id, mode=mode)
+
+    def _inject_fault(self, shard_id: str, mode: str, fault_kwargs: Dict[str, object]) -> None:
+        """Plant one fault mode on every device of a shard (overridable: the
+        process-per-shard deployment relays this to the worker instead)."""
         for device in self.shards[shard_id].devices:
             if mode == "crash":
                 device.faults.crash()
@@ -418,7 +433,6 @@ class ClusterService:
                 device.faults.crash_after_n_ios(fault_kwargs.get("after_n_ios", 1))
             else:
                 raise ConfigurationError(f"unknown fault mode {mode!r}")
-        self.events.record("failure_injected", shard=shard_id, mode=mode)
 
     def heal_shard(self, shard_id: str) -> None:
         """Clear faults and error state; the shard resumes serving.
@@ -434,17 +448,31 @@ class ClusterService:
         if shard_id not in self.shards:
             raise ConfigurationError(f"shard {shard_id!r} not present")
         was_down = shard_id in self._down
-        for device in self.shards[shard_id].devices:
-            device.faults.heal()
+        self._heal_devices(shard_id)
         self._errors.pop(shard_id, None)
         self._down.discard(shard_id)
         self.events.record("shard_healed", shard=shard_id, was_down=was_down)
+        self._replay_hints_for(shard_id)
+
+    def _heal_devices(self, shard_id: str) -> None:
+        """Clear every device fault on one shard (overridable, like
+        :meth:`_inject_fault`)."""
+        for device in self.shards[shard_id].devices:
+            device.faults.heal()
+
+    def _replay_hints_for(self, shard_id: str) -> int:
+        """Replay the hinted-handoff log onto a shard that just rejoined.
+
+        Shared by :meth:`heal_shard`, :meth:`reopen_shard` and the parallel
+        cluster's worker restart; returns how many hints were replayed.
+        """
         replayed_before = self.hinted_handoffs
         for key in sorted(self._hints.pop(shard_id, ())):
             self._replay_hint(shard_id, key)
         replayed = self.hinted_handoffs - replayed_before
         if replayed:
             self.events.record("hinted_handoff_replay", shard=shard_id, keys_replayed=replayed)
+        return replayed
 
     def reopen_shard(self, shard_id: str) -> CrashRecoveryReport:
         """Reopen a power-cut persistent shard from its backing file.
@@ -487,12 +515,7 @@ class ClusterService:
             torn_pages_discarded=report.torn_pages_discarded,
             recovery_io_ms=report.recovery_io_ms,
         )
-        replayed_before = self.hinted_handoffs
-        for key in sorted(self._hints.pop(shard_id, ())):
-            self._replay_hint(shard_id, key)
-        replayed = self.hinted_handoffs - replayed_before
-        if replayed:
-            self.events.record("hinted_handoff_replay", shard=shard_id, keys_replayed=replayed)
+        self._replay_hints_for(shard_id)
         return report
 
     def _record_hint(self, shard_id: str, key: KeyLike) -> None:
@@ -816,8 +839,7 @@ class ClusterService:
                 f"shard {shard_id!r} is still on the ring; remove it from the router first"
             )
         clam = self.shards.pop(shard_id)
-        if isinstance(clam, DurableCLAM):
-            clam.close()
+        self._close_shard(clam)
         self.clock.remove(clam.clock)
         self._errors.pop(shard_id, None)
         self._down.discard(shard_id)
@@ -840,16 +862,31 @@ class ClusterService:
                 "key migration is in flight (drain or abort it first)"
             )
 
-    def close(self) -> None:
-        """Cleanly close every persistent shard (flush, checkpoint, unmap).
+    def _close_shard(self, clam: CLAM) -> None:
+        """Release one shard instance (flush + checkpoint + unmap when
+        persistent; no-op otherwise).  The process-per-shard deployment
+        overrides this to shut the worker process down instead."""
+        if isinstance(clam, DurableCLAM):
+            clam.close()
 
-        No-op for in-memory storage profiles; safe to call twice.  Makes
-        ``ClusterService`` usable as a context manager so tests and
-        benchmarks on ``storage="persistent"`` never leak file mappings.
+    def close(self) -> None:
+        """Cleanly close every shard (flush, checkpoint, unmap when persistent).
+
+        Idempotent and exception-safe: *every* shard's close is attempted even
+        when an earlier one raises — a failure on shard 2 of 5 must not leak
+        shards 3-5's open file mappings — and the collected failures are
+        raised once as a single :class:`~repro.core.errors.ClusterCloseError`.
+        Makes ``ClusterService`` usable as a context manager so tests and
+        benchmarks on ``storage="persistent"`` never leak file handles.
         """
-        for clam in self.shards.values():
-            if isinstance(clam, DurableCLAM):
-                clam.close()
+        failures: List[Tuple[str, Exception]] = []
+        for shard_id, clam in self.shards.items():
+            try:
+                self._close_shard(clam)
+            except Exception as error:
+                failures.append((shard_id, error))
+        if failures:
+            raise ClusterCloseError(failures)
 
     def __enter__(self) -> "ClusterService":
         return self
@@ -872,11 +909,7 @@ class ClusterService:
         if self.telemetry is not None:
             self.telemetry.gauge("live_shards").set(len(self.live_shard_ids))
             self.telemetry.gauge("down_shards").set(len(self.down_shard_ids))
-        per_shard = {
-            shard_id: clam.telemetry
-            for shard_id, clam in self.shards.items()
-            if clam.telemetry is not None
-        }
+        per_shard = self._shard_registries()
         return build_snapshot(
             per_shard=per_shard,
             events=self.events,
@@ -884,6 +917,20 @@ class ClusterService:
             include_buckets=include_buckets,
             extra_registry=self.telemetry,
         )
+
+    def _shard_registries(self) -> Dict[str, MetricsRegistry]:
+        """Per-shard metrics registries for the telemetry envelope.
+
+        In-process shards expose their registry objects directly; the
+        process-per-shard deployment overrides this to fetch each worker's
+        snapshot over the wire and rebuild mergeable registries from it
+        (:meth:`~repro.telemetry.registry.MetricsRegistry.from_snapshot`).
+        """
+        return {
+            shard_id: clam.telemetry
+            for shard_id, clam in self.shards.items()
+            if clam.telemetry is not None
+        }
 
     def throughput_ops_per_second(self, combined: Optional[Dict[str, float]] = None) -> float:
         """Cluster-wide hash operations per simulated (parallel) second.

@@ -1,0 +1,824 @@
+"""Process-per-shard deployment of the cluster service.
+
+Everything else in this repository runs in one Python thread over simulated
+clocks — correct and deterministic, but capped at one core no matter how many
+shards the cluster has.  :class:`ParallelClusterService` is the escape hatch:
+each shard's CLAM (or :class:`~repro.core.recovery.DurableCLAM` when
+``storage="persistent"``) runs in its **own worker process** behind the
+length-prefixed binary protocol of :mod:`repro.service.wire`, and the batch
+executor's per-shard fanout becomes a true scatter/gather — every worker
+chews on its sub-batch concurrently while the parent waits.
+
+The bit-identical results contract
+----------------------------------
+The in-process :class:`~repro.service.cluster.ClusterService` stays the
+default deterministic test path.  The parallel deployment reuses its exact
+routing, replication, hint and retry machinery — only the innermost dispatch
+hop (:meth:`~repro.service.batch.BatchExecutor._dispatch_round`) is replaced
+— and each worker runs the same deterministic CLAM on the same kind of
+private :class:`~repro.flashsim.clock.SimulationClock`, advanced by exactly
+the amounts the in-process executor would have advanced it (the parent
+mirrors each worker clock and ships accrued advances inside batch frames).
+Operation results, per-shard counters and simulated clocks are therefore
+**bit-identical** between the two modes; ``tests/test_parallel_cluster.py``
+enforces the contract and ``benchmarks/bench_parallel_cluster.py`` ratchets
+it in CI.
+
+Failure model
+-------------
+A worker that dies (killed, OOM, crashed interpreter) surfaces as
+:class:`~repro.core.errors.WorkerDiedError` — a
+:class:`~repro.core.errors.DeviceFailedError` subclass — at the next frame,
+so every existing layer treats it like a crash-stopped device: the batch
+executor fails the sub-batch over to the next live replica, the cluster's
+error counters mark the shard down, missed writes become hinted handoffs,
+and with ``replication_factor >= 2`` no acknowledged write is lost.  The
+supervisor half (:meth:`ParallelClusterService.check_workers` /
+:meth:`~ParallelClusterService.restart_worker`) detects dead workers, feeds
+them into that same health machinery and respawns them; a persistent shard's
+replacement worker reopens the backing file and runs CLAM crash recovery.
+
+Workers are forked, not spawned: sockets, configs and eviction policies are
+inherited instead of pickled, and a fork start is ~10x cheaper.  This is a
+POSIX-only deployment mode — the deterministic in-process cluster remains
+the portable default.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import socket
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.clam import CLAM
+from repro.core.config import CLAMConfig
+from repro.core.errors import (
+    BufferHashError,
+    ConfigurationError,
+    DeviceFailedError,
+    WireProtocolError,
+    WorkerDiedError,
+)
+from repro.core.recovery import CrashRecoveryReport, DurableCLAM
+from repro.flashsim.clock import SimulationClock
+from repro.service import wire
+from repro.service.batch import BatchExecutor, BatchResult, ShardBatchStats, _count, _Slot
+from repro.service.cluster import ClusterService
+from repro.telemetry import trace as _trace
+from repro.telemetry.registry import MetricsRegistry
+from repro.workloads.runner import apply_operation
+from repro.workloads.workload import Operation, OpKind
+
+__all__ = [
+    "ParallelBatchExecutor",
+    "ParallelClusterService",
+    "RemoteShard",
+]
+
+
+class _MirrorClock:
+    """The parent's mirror of one worker's :class:`SimulationClock`.
+
+    The in-process executor charges dispatch/routing overhead to the shard's
+    clock *before* the shard runs; in process mode the shard's real clock
+    lives in the worker, so the parent accrues those advances here as
+    *pending* milliseconds, ships them inside the next batch frame (the
+    worker applies them before executing) and folds each worker response's
+    clock reading back in.  ``now_ms`` therefore tracks the worker clock
+    exactly at every frame boundary, which is what keeps the cluster's
+    :class:`~repro.flashsim.clock.ClockEnsemble` readings bit-identical to
+    the in-process deployment's.
+    """
+
+    __slots__ = ("_now_ms", "_pending_ms")
+
+    def __init__(self) -> None:
+        self._now_ms = 0.0
+        self._pending_ms = 0.0
+
+    @property
+    def now_ms(self) -> float:
+        return self._now_ms + self._pending_ms
+
+    @property
+    def now_s(self) -> float:
+        return self.now_ms / 1000.0
+
+    def advance(self, delta_ms: float) -> float:
+        if delta_ms < 0:
+            raise ValueError(f"cannot advance clock by negative amount {delta_ms!r}")
+        self._pending_ms += delta_ms
+        return self.now_ms
+
+    def consume_pending_ms(self) -> float:
+        """Pending advances to ship with the next frame (folded into now)."""
+        pending = self._pending_ms
+        self._now_ms += pending
+        self._pending_ms = 0.0
+        return pending
+
+    def sync(self, worker_now_ms: float) -> None:
+        """Adopt a worker clock reading (monotonic: never rewinds)."""
+        if worker_now_ms > self._now_ms:
+            self._now_ms = worker_now_ms
+
+
+# -- Worker process -----------------------------------------------------------------
+
+
+def _apply_fault(clam: CLAM, mode: str, fault_kwargs: Dict[str, object]) -> None:
+    """Worker-side twin of ``ClusterService._inject_fault``."""
+    for device in clam.devices:
+        if mode == "crash":
+            device.faults.crash()
+        elif mode == "io-errors":
+            device.faults.inject_errors(**fault_kwargs)
+        elif mode == "degraded":
+            device.faults.degrade(**fault_kwargs)
+        elif mode == "power-cut":
+            device.faults.crash_after_n_ios(int(fault_kwargs.get("after_n_ios", 1)))
+        else:
+            raise ConfigurationError(f"unknown fault mode {mode!r}")
+
+
+def _handle_batch(clam: CLAM, hash_once: bool, payload: bytes) -> bytes:
+    """Execute one batch frame against the worker's CLAM."""
+    advance_ms, operations = wire.decode_batch_request(payload)
+    if advance_ms:
+        clam.clock.advance(advance_ms)
+    started_ms = clam.clock.now_ms
+    results: List[object] = []
+    error_code = wire.ERR_NONE
+    message = ""
+    for kind, digest, value in operations:
+        key = digest if hash_once else digest.data
+        operation = Operation(kind, digest.data, value)
+        try:
+            results.append(apply_operation(clam, operation, key=key))
+        except DeviceFailedError as error:
+            error_code = wire.ERR_DEVICE_FAILED
+            message = f"{type(error).__name__}: {error}"
+            break
+        except Exception as error:  # surfaced to the parent as a typed code
+            error_code = wire.ERR_UNEXPECTED
+            message = f"{type(error).__name__}: {error}"
+            break
+    busy_ms = clam.clock.now_ms - started_ms
+    return wire.encode_batch_response(results, error_code, message, clam.clock.now_ms, busy_ms)
+
+
+def _handle_control(clam: CLAM, request: Dict[str, object]) -> Dict[str, object]:
+    """Low-rate management requests (everything except batches and close)."""
+    op = request.get("op")
+    if op == "ping":
+        return {"ok": True, "pid": os.getpid()}
+    if op == "counters":
+        return {"ok": True, "counters": clam.counters()}
+    if op == "telemetry":
+        snapshot = (
+            clam.telemetry.snapshot(include_buckets=True) if clam.telemetry is not None else None
+        )
+        return {"ok": True, "telemetry": snapshot}
+    if op == "cpu_time":
+        return {"ok": True, "cpu_s": time.process_time()}
+    if op == "fault":
+        try:
+            _apply_fault(clam, str(request.get("mode")), dict(request.get("kwargs") or {}))
+        except BufferHashError as error:
+            return {"ok": False, "error": str(error)}
+        return {"ok": True}
+    if op == "heal":
+        for device in clam.devices:
+            device.faults.heal()
+        return {"ok": True}
+    if op == "recovery_report":
+        report = getattr(clam, "recovery_report", None)
+        return {"ok": True, "report": report.to_dict() if report is not None else None}
+    return {"ok": False, "error": f"unknown control op {op!r}"}
+
+
+def _worker_main(
+    conn: socket.socket,
+    shard_id: str,
+    config: CLAMConfig,
+    storage: str,
+    data_path: Optional[str],
+    eviction_policy,
+    keep_latency_samples: bool,
+) -> None:
+    """Entry point of one shard worker: build the CLAM, serve frames, exit.
+
+    The worker owns a private :class:`SimulationClock` and (forked) copies of
+    the config and eviction policy; nothing is shared with the parent except
+    the socket.  The loop exits on a clean ``close`` control frame or when
+    the parent hangs up (EOF), and a persistent CLAM is always closed on the
+    way out so an orphaned worker still checkpoints its file.
+    """
+    _trace.ACTIVE = None  # the parent's tracer must not leak across the fork
+    clam: Optional[CLAM] = None
+    try:
+        try:
+            if storage == "persistent":
+                existing = data_path and os.path.exists(data_path) and os.path.getsize(data_path)
+                clam = DurableCLAM(
+                    data_path,
+                    config=None if existing else config,
+                    clock=SimulationClock(),
+                    eviction_policy=eviction_policy,
+                    keep_latency_samples=keep_latency_samples,
+                    name=shard_id,
+                )
+            else:
+                clam = CLAM(
+                    config,
+                    storage=storage,
+                    clock=SimulationClock(),
+                    eviction_policy=eviction_policy,
+                    keep_latency_samples=keep_latency_samples,
+                )
+        except Exception as error:  # tell the parent why the build failed
+            hello = {"ok": False, "error": f"{type(error).__name__}: {error}"}
+            wire.send_frame(conn, wire.FRAME_CONTROL_RESPONSE, wire.encode_control(hello))
+            return
+        wire.send_frame(
+            conn,
+            wire.FRAME_CONTROL_RESPONSE,
+            wire.encode_control({"ok": True, "pid": os.getpid()}),
+        )
+        hash_once = clam.config.use_hash_once
+        while True:
+            try:
+                frame_type, payload = wire.recv_frame(conn)
+            except (wire.TruncatedFrameError, OSError):
+                break  # parent hung up
+            if frame_type == wire.FRAME_BATCH_REQUEST:
+                response = _handle_batch(clam, hash_once, payload)
+                wire.send_frame(conn, wire.FRAME_BATCH_RESPONSE, response)
+            elif frame_type == wire.FRAME_CONTROL_REQUEST:
+                request = wire.decode_control(payload)
+                if request.get("op") == "close":
+                    reply: Dict[str, object] = {"ok": True}
+                    if isinstance(clam, DurableCLAM):
+                        try:
+                            clam.close()
+                        except Exception as error:
+                            reply = {"ok": False, "error": f"{type(error).__name__}: {error}"}
+                    wire.send_frame(conn, wire.FRAME_CONTROL_RESPONSE, wire.encode_control(reply))
+                    break
+                reply = _handle_control(clam, request)
+                wire.send_frame(conn, wire.FRAME_CONTROL_RESPONSE, wire.encode_control(reply))
+            else:  # pragma: no cover - recv_frame validates frame types
+                break
+    finally:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+        if isinstance(clam, DurableCLAM) and not clam.closed:
+            try:
+                clam.close()
+            except Exception:  # pragma: no cover - dead device at exit
+                pass
+
+
+# -- Parent-side shard proxy --------------------------------------------------------
+
+
+class RemoteShard:
+    """Parent-side proxy for one shard worker process.
+
+    Satisfies everything :class:`~repro.service.cluster.ClusterService`
+    needs from a shard — the ``HashIndex`` methods (as one-operation batch
+    frames, so single ops and batches share one code path and one clock
+    policy), ``counters()``, a ``clock`` for the cluster ensemble, and
+    ``close()`` — plus the batch scatter/gather halves used by
+    :class:`ParallelBatchExecutor` and the fault/telemetry controls.
+
+    Transport failures (EOF, broken pipe) mark the proxy dead and raise
+    :class:`~repro.core.errors.WorkerDiedError` so callers handle a dead
+    worker exactly like a crash-stopped device.
+    """
+
+    def __init__(
+        self,
+        shard_id: str,
+        ctx,
+        config: CLAMConfig,
+        storage: str,
+        data_path: Optional[str] = None,
+        eviction_policy=None,
+        keep_latency_samples: bool = True,
+    ) -> None:
+        self.shard_id = shard_id
+        self.config = config
+        self.storage = storage
+        self.data_path = data_path
+        self.clock = _MirrorClock()
+        #: Always ``None``: the worker's registry lives in the worker; fetch a
+        #: mergeable copy with :meth:`telemetry_registry`.  The attribute keeps
+        #: in-process consumers (stats, autoscaler) working via their existing
+        #: ``telemetry is None`` guards.
+        self.telemetry = None
+        self._ctx = ctx
+        self._eviction_policy = eviction_policy
+        self._keep_latency_samples = keep_latency_samples
+        self._sock: Optional[socket.socket] = None
+        self.process = None
+        self._dead = False
+        self._closed = False
+        self._spawn()
+
+    def _spawn(self) -> None:
+        parent_sock, child_sock = socket.socketpair()
+        self.process = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                child_sock,
+                self.shard_id,
+                self.config,
+                self.storage,
+                self.data_path,
+                self._eviction_policy,
+                self._keep_latency_samples,
+            ),
+            name=f"clam-worker-{self.shard_id}",
+            daemon=True,
+        )
+        self.process.start()
+        child_sock.close()
+        self._sock = parent_sock
+        self._dead = False
+        self._closed = False
+        hello = wire.decode_control(self._recv(wire.FRAME_CONTROL_RESPONSE))
+        if not hello.get("ok"):
+            self.process.join(timeout=10.0)
+            raise ConfigurationError(
+                f"worker for shard {self.shard_id!r} failed to start: {hello.get('error')}"
+            )
+
+    # -- Liveness ----------------------------------------------------------------------
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid if self.process is not None else None
+
+    @property
+    def alive(self) -> bool:
+        """Whether the worker process can still serve frames."""
+        return (
+            not self._dead
+            and not self._closed
+            and self.process is not None
+            and self.process.is_alive()
+        )
+
+    # -- Transport ---------------------------------------------------------------------
+
+    def _mark_dead(self, error: Exception, action: str) -> WorkerDiedError:
+        self._dead = True
+        return WorkerDiedError(
+            f"worker for shard {self.shard_id!r} died ({action}: {type(error).__name__}: {error})"
+        )
+
+    def _send(self, frame_type: int, payload: bytes) -> None:
+        if self._sock is None or self._dead or self._closed:
+            raise WorkerDiedError(f"worker for shard {self.shard_id!r} is not running")
+        try:
+            wire.send_frame(self._sock, frame_type, payload)
+        except OSError as error:
+            raise self._mark_dead(error, "send") from error
+
+    def _recv(self, expected_type: int) -> bytes:
+        if self._sock is None:
+            raise WorkerDiedError(f"worker for shard {self.shard_id!r} is not running")
+        try:
+            frame_type, payload = wire.recv_frame(self._sock)
+        except (wire.TruncatedFrameError, OSError) as error:
+            raise self._mark_dead(error, "recv") from error
+        if frame_type != expected_type:
+            raise WireProtocolError(
+                f"worker for shard {self.shard_id!r} sent frame type {frame_type}, "
+                f"expected {expected_type}"
+            )
+        return payload
+
+    # -- Batch scatter/gather ----------------------------------------------------------
+
+    def send_batch(
+        self,
+        operations: List[Tuple[OpKind, object, bytes]],
+        extra_advance_ms: float = 0.0,
+    ) -> None:
+        """Scatter half: ship one batch frame (pending clock advances ride along)."""
+        if extra_advance_ms:
+            self.clock.advance(extra_advance_ms)
+        advance_ms = self.clock.consume_pending_ms()
+        self._send(wire.FRAME_BATCH_REQUEST, wire.encode_batch_request(advance_ms, operations))
+
+    def recv_batch(self) -> Tuple[List[object], int, str, float]:
+        """Gather half: returns ``(results, error_code, message, busy_ms)``."""
+        payload = self._recv(wire.FRAME_BATCH_RESPONSE)
+        results, error_code, message, clock_ms, busy_ms = wire.decode_batch_response(payload)
+        self.clock.sync(clock_ms)
+        return results, error_code, message, busy_ms
+
+    def _one(self, kind: OpKind, key, value: bytes):
+        self.send_batch([(kind, key, value)])
+        results, error_code, message, _busy_ms = self.recv_batch()
+        wire.raise_for_code(error_code, f"shard {self.shard_id}: {message}")
+        return results[0]
+
+    # -- HashIndex interface -----------------------------------------------------------
+
+    def lookup(self, key):
+        return self._one(OpKind.LOOKUP, key, b"")
+
+    def insert(self, key, value):
+        return self._one(OpKind.INSERT, key, value)
+
+    def update(self, key, value):
+        return self._one(OpKind.UPDATE, key, value)
+
+    def delete(self, key):
+        return self._one(OpKind.DELETE, key, b"")
+
+    # -- Controls ----------------------------------------------------------------------
+
+    def _control(self, request: Dict[str, object]) -> Dict[str, object]:
+        self._send(wire.FRAME_CONTROL_REQUEST, wire.encode_control(request))
+        return wire.decode_control(self._recv(wire.FRAME_CONTROL_RESPONSE))
+
+    def counters(self) -> Dict[str, float]:
+        reply = self._control({"op": "counters"})
+        return {name: float(value) for name, value in reply["counters"].items()}
+
+    def telemetry_registry(self) -> Optional[MetricsRegistry]:
+        """A mergeable copy of the worker's metrics registry (or ``None``)."""
+        snapshot = self._control({"op": "telemetry"}).get("telemetry")
+        return MetricsRegistry.from_snapshot(snapshot) if snapshot is not None else None
+
+    def cpu_seconds(self) -> float:
+        """CPU time the worker process has consumed (its ``process_time``)."""
+        return float(self._control({"op": "cpu_time"})["cpu_s"])
+
+    def inject_fault(self, mode: str, fault_kwargs: Dict[str, object]) -> None:
+        reply = self._control({"op": "fault", "mode": mode, "kwargs": dict(fault_kwargs)})
+        if not reply.get("ok"):
+            raise ConfigurationError(str(reply.get("error", "fault injection failed")))
+
+    def heal(self) -> None:
+        self._control({"op": "heal"})
+
+    @property
+    def recovery_report(self) -> Optional[CrashRecoveryReport]:
+        """The worker CLAM's crash-recovery report (persistent shards only)."""
+        data = self._control({"op": "recovery_report"}).get("report")
+        return CrashRecoveryReport(**data) if data is not None else None
+
+    # -- Lifecycle ---------------------------------------------------------------------
+
+    def kill(self) -> None:
+        """SIGKILL the worker — the crash-drill hook.  No clean close, no
+        checkpoint: exactly what a machine failure looks like."""
+        self._dead = True
+        if self.process is not None and self.process.is_alive():
+            self.process.kill()
+            self.process.join(timeout=10.0)
+
+    def shutdown(self, timeout_s: float = 10.0) -> None:
+        """Cleanly stop the worker (idempotent).
+
+        A live worker is asked to close over the wire — a persistent CLAM
+        flushes and checkpoints before the ack — then reaped; a dead one is
+        just reaped.  Raises :class:`~repro.core.errors.WireProtocolError`
+        when the worker reports its close failed (after the socket is closed
+        and the process reaped, so nothing leaks either way).
+        """
+        if self._closed:
+            return
+        failure: Optional[Exception] = None
+        try:
+            if not self._dead and self.process is not None and self.process.is_alive():
+                try:
+                    self._send(wire.FRAME_CONTROL_REQUEST, wire.encode_control({"op": "close"}))
+                    reply = wire.decode_control(self._recv(wire.FRAME_CONTROL_RESPONSE))
+                    if not reply.get("ok"):
+                        failure = WireProtocolError(
+                            f"shard {self.shard_id!r} failed to close cleanly: "
+                            f"{reply.get('error')}"
+                        )
+                except (WorkerDiedError, WireProtocolError) as error:
+                    failure = failure or error
+        finally:
+            self._closed = True
+            if self._sock is not None:
+                try:
+                    self._sock.close()
+                except OSError:  # pragma: no cover - best-effort cleanup
+                    pass
+                self._sock = None
+            if self.process is not None:
+                self.process.join(timeout=timeout_s)
+                if self.process.is_alive():  # pragma: no cover - stuck worker
+                    self.process.kill()
+                    self.process.join(timeout=timeout_s)
+        if failure is not None:
+            raise failure
+
+    def close(self) -> None:
+        """Alias for :meth:`shutdown` (the shard-side close interface)."""
+        self.shutdown()
+
+
+# -- Scatter/gather executor --------------------------------------------------------
+
+
+class ParallelBatchExecutor(BatchExecutor):
+    """The batch executor's per-shard fanout as a true scatter/gather.
+
+    Only :meth:`_dispatch_round` changes relative to the base class: every
+    shard's sub-batch frame is sent before any response is read, so the
+    worker processes execute concurrently and a round's wall-clock cost is
+    the *slowest* worker rather than the sum.  Routing, replica failover,
+    retry and accounting are inherited unchanged — the same slots, the same
+    hooks, the same stats — which is what keeps process-mode results
+    bit-identical to the in-process executor's.
+
+    Managed mode is required (a live view must drive failover): a worker
+    death has to be survivable, and only the managed re-route machinery can
+    move its slots to another replica.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if not self.managed:
+            raise ConfigurationError(
+                "ParallelBatchExecutor requires managed mode (an is_live hook); "
+                "stand-alone batches belong on the in-process BatchExecutor"
+            )
+
+    def _dispatch_round(
+        self, groups: Dict[str, List[_Slot]], batch: BatchResult
+    ) -> List[_Slot]:
+        failed_slots: List[_Slot] = []
+        in_flight: List[Tuple[str, RemoteShard, List[_Slot], ShardBatchStats, float]] = []
+
+        # Scatter: one frame per shard, no waiting in between.
+        for shard_id, slots in groups.items():
+            shard = self.shards.get(shard_id)
+            for slot in slots:
+                slot.attempted.add(shard_id)
+            if shard is None:
+                # Removed between routing and execution; managed mode re-routes.
+                self._fail_group(shard_id, slots, batch, failed_slots, missed_writes=False)
+                continue
+            stats = ShardBatchStats(shard_id=shard_id)
+            stats.dispatch_ms = self.dispatch_overhead_ms
+            stats.routing_ms = self.routing_cost_ms * len(slots)
+            operations = [(slot.operation.kind, slot.key, slot.operation.value) for slot in slots]
+            try:
+                shard.send_batch(operations, extra_advance_ms=stats.dispatch_ms + stats.routing_ms)
+            except DeviceFailedError:
+                self._fail_group(shard_id, slots, batch, failed_slots, missed_writes=True)
+                continue
+            in_flight.append((shard_id, shard, slots, stats, shard.clock.now_ms))
+
+        # Gather: read responses in dispatch order.  Workers kept computing
+        # while we were still scattering and while earlier responses were
+        # being folded in — that overlap is the whole point.
+        for shard_id, shard, slots, stats, started_ms in in_flight:
+            try:
+                results, error_code, message, busy_ms = shard.recv_batch()
+            except DeviceFailedError:
+                # Killed mid-batch: no response, so none of its slots ran.
+                self._fail_group(shard_id, slots, batch, failed_slots, missed_writes=True)
+                continue
+            if error_code == wire.ERR_UNEXPECTED:
+                raise WireProtocolError(f"shard {shard_id}: {message}")
+            tracer = _trace.ACTIVE
+            span = None
+            if tracer is not None:
+                span = tracer.begin(
+                    "shard.batch", shard.clock, shard=shard_id, operations=len(slots)
+                )
+                span.start_ms = started_ms  # the frame was sent back then
+            stats.busy_ms = busy_ms
+            for slot, result in zip(slots, results):
+                if slot.primary:
+                    batch.results[slot.index] = result
+                elif batch.results[slot.index] is None:
+                    batch.results[slot.index] = result
+                stats.operations += 1
+                _count(stats, slot.operation.kind, result)
+            leftover = slots[len(results) :]
+            if error_code == wire.ERR_DEVICE_FAILED or leftover:
+                self._notify_failure(shard_id)
+                for pending in leftover:
+                    if (
+                        pending.operation.kind is not OpKind.LOOKUP
+                        and self._on_missed_write is not None
+                    ):
+                        self._on_missed_write(shard_id, pending.key)
+                if shard_id not in batch.failed_shards:
+                    batch.failed_shards.append(shard_id)
+                failed_slots.extend(leftover)
+            if span is not None:
+                if leftover:
+                    span.attributes["failed"] = True
+                    span.attributes["operations_completed"] = stats.operations
+                tracer.end(span, shard.clock)
+            self._merge_shard_stats(batch, stats)
+        return failed_slots
+
+    def _fail_group(
+        self,
+        shard_id: str,
+        slots: List[_Slot],
+        batch: BatchResult,
+        failed_slots: List[_Slot],
+        missed_writes: bool,
+    ) -> None:
+        """One shard's whole sub-batch failed before (or without) a response."""
+        self._notify_failure(shard_id)
+        if missed_writes and self._on_missed_write is not None:
+            for slot in slots:
+                if slot.operation.kind is not OpKind.LOOKUP:
+                    self._on_missed_write(shard_id, slot.key)
+        if shard_id not in batch.failed_shards:
+            batch.failed_shards.append(shard_id)
+        failed_slots.extend(slots)
+
+
+# -- The process-per-shard cluster --------------------------------------------------
+
+
+class ParallelClusterService(ClusterService):
+    """:class:`~repro.service.cluster.ClusterService` with one process per shard.
+
+    Same constructor, same interface, same results (see the module docstring
+    for the contract); additionally exposes the supervisor surface —
+    :meth:`check_workers`, :meth:`restart_worker`, :meth:`kill_worker` — and
+    per-worker CPU accounting for the scaling benchmark.  Always ``close()``
+    it (or use it as a context manager): worker processes are daemonic, so
+    they die with the parent, but only a clean close checkpoints persistent
+    shards.
+    """
+
+    def __init__(self, *args, start_method: str = "fork", **kwargs) -> None:
+        if start_method != "fork":
+            raise ConfigurationError(
+                "process-per-shard workers require the fork start method "
+                "(sockets, configs and eviction policies are inherited, not pickled)"
+            )
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise ConfigurationError(
+                "this platform cannot fork; use the in-process ClusterService"
+            )
+        self._ctx = multiprocessing.get_context("fork")
+        super().__init__(*args, **kwargs)
+
+    # -- Hook overrides ----------------------------------------------------------------
+
+    def _build_shard(self, shard_id: str) -> RemoteShard:
+        if shard_id in self.shards:
+            raise ConfigurationError(f"shard {shard_id!r} already exists")
+        data_path = self.shard_path(shard_id) if self.storage == "persistent" else None
+        shard = RemoteShard(
+            shard_id,
+            self._ctx,
+            self.config,
+            self.storage,
+            data_path=data_path,
+            eviction_policy=self._eviction_policy,
+            keep_latency_samples=self._keep_latency_samples,
+        )
+        self.shards[shard_id] = shard
+        self.clock.add(shard.clock)
+        return shard
+
+    def _build_executor(self, dispatch_overhead_ms: float, routing_cost_ms: float):
+        return ParallelBatchExecutor(
+            self.router,
+            self.shards,
+            dispatch_overhead_ms=dispatch_overhead_ms,
+            routing_cost_ms=routing_cost_ms,
+            hash_once=self.config.use_hash_once,
+            replication_factor=self.replication_factor,
+            is_live=self.is_live,
+            on_shard_error=self.record_shard_error,
+            on_missed_write=self._record_hint,
+            targets_for=self._op_replicas,
+        )
+
+    def _inject_fault(self, shard_id: str, mode: str, fault_kwargs: Dict[str, object]) -> None:
+        self.shards[shard_id].inject_fault(mode, fault_kwargs)
+
+    def _heal_devices(self, shard_id: str) -> None:
+        self.shards[shard_id].heal()
+
+    def _close_shard(self, shard: RemoteShard) -> None:
+        shard.shutdown()
+
+    def _shard_registries(self) -> Dict[str, MetricsRegistry]:
+        """Per-worker registries, fetched over the wire and rebuilt mergeable.
+
+        Dead workers are skipped (their samples died with them — exactly like
+        a crashed server's scrape target going away); everything that answers
+        merges bit-exactly thanks to the bucket-preserving snapshots.
+        """
+        registries: Dict[str, MetricsRegistry] = {}
+        for shard_id, shard in self.shards.items():
+            if not shard.alive:
+                continue
+            try:
+                registry = shard.telemetry_registry()
+            except DeviceFailedError:
+                continue
+            if registry is not None:
+                registries[shard_id] = registry
+        return registries
+
+    # -- Supervisor --------------------------------------------------------------------
+
+    def check_workers(self) -> List[str]:
+        """Detect dead workers and feed them into the health machinery.
+
+        Every dead-but-not-yet-down worker is recorded as a ``worker_died``
+        event and pushed through :meth:`record_shard_error` until the shard
+        is marked down (so routing immediately avoids it).  Returns the
+        newly-detected shard ids.  Callers run this periodically — or rely on
+        the lazy path: any frame to a dead worker raises
+        :class:`~repro.core.errors.WorkerDiedError`, which feeds the same
+        counters through the executor's failure hooks.
+        """
+        died: List[str] = []
+        for shard_id, shard in self.shards.items():
+            if shard.alive or shard._closed or shard_id in self._down:
+                continue
+            self.events.record("worker_died", shard=shard_id, pid=shard.pid)
+            while shard_id not in self._down:
+                self.record_shard_error(shard_id)
+            died.append(shard_id)
+        return died
+
+    def kill_worker(self, shard_id: str) -> None:
+        """SIGKILL one shard's worker (the crash drill used by tests/benches).
+
+        Only injects the failure — detection and recovery go through the
+        normal machinery (:meth:`check_workers` or the next frame's
+        :class:`~repro.core.errors.WorkerDiedError`).
+        """
+        shard = self.shards.get(shard_id)
+        if shard is None:
+            raise ConfigurationError(f"shard {shard_id!r} not present")
+        pid = shard.pid
+        shard.kill()
+        self.events.record("worker_killed", shard=shard_id, pid=pid)
+
+    def restart_worker(self, shard_id: str) -> Optional[CrashRecoveryReport]:
+        """Respawn the worker for one shard and rejoin it to the cluster.
+
+        A persistent shard's replacement worker reopens the backing file and
+        runs CLAM crash recovery (the report is returned); a volatile shard
+        comes back empty and relies on ``replication_factor >= 2`` —
+        read-repair and the hinted-handoff replay below restore its keys
+        lazily, exactly like :meth:`heal_shard` after a device crash.
+        """
+        shard = self.shards.get(shard_id)
+        if shard is None:
+            raise ConfigurationError(f"shard {shard_id!r} not present")
+        shard.kill()
+        self.clock.remove(shard.clock)
+        del self.shards[shard_id]
+        replacement = self._build_shard(shard_id)
+        self._errors.pop(shard_id, None)
+        self._down.discard(shard_id)
+        report = replacement.recovery_report if self.storage == "persistent" else None
+        self.events.record(
+            "worker_restarted",
+            shard=shard_id,
+            pid=replacement.pid,
+            crash_recovered=bool(report is not None and not report.clean_shutdown),
+        )
+        self._replay_hints_for(shard_id)
+        return report
+
+    # -- Accounting --------------------------------------------------------------------
+
+    def worker_pids(self) -> Dict[str, Optional[int]]:
+        """Current worker process id per shard."""
+        return {shard_id: shard.pid for shard_id, shard in self.shards.items()}
+
+    def worker_cpu_seconds(self) -> Dict[str, float]:
+        """CPU seconds each live worker has consumed (benchmark accounting)."""
+        cpu: Dict[str, float] = {}
+        for shard_id, shard in self.shards.items():
+            if not shard.alive:
+                continue
+            try:
+                cpu[shard_id] = shard.cpu_seconds()
+            except DeviceFailedError:
+                continue
+        return cpu

@@ -207,6 +207,34 @@ class LatencyHistogram:
             result.merge(histogram)
         return result if result is not None else cls(name)
 
+    @classmethod
+    def from_snapshot(cls, name: str, data: Dict[str, object]) -> "LatencyHistogram":
+        """Rebuild a histogram from a :meth:`snapshot` taken with buckets.
+
+        This is the worker-to-parent half of per-process telemetry: a shard
+        worker snapshots its registry (``include_buckets=True``), ships the
+        JSON over the wire, and the parent rebuilds histograms it can merge
+        exactly.  Bucket arrays are required — without them the merge could
+        not be exact.
+        """
+        edges = data.get("bucket_edges_ms")
+        counts = data.get("bucket_counts")
+        if edges is None or counts is None:
+            raise ValueError(
+                f"histogram snapshot for {name!r} has no bucket arrays; "
+                "snapshot with include_buckets=True to make it mergeable"
+            )
+        histogram = cls(name, edges)
+        if len(counts) != len(histogram.counts):
+            raise ValueError(f"histogram snapshot for {name!r} has mismatched bucket counts")
+        histogram.counts = [int(c) for c in counts]
+        histogram.count = int(data["count"])
+        histogram.sum = float(data["sum_ms"])
+        if histogram.count:
+            histogram.min = float(data["min_ms"])
+            histogram.max = float(data["max_ms"])
+        return histogram
+
     # -- Export -----------------------------------------------------------------------
 
     def snapshot(self, include_buckets: bool = False) -> Dict[str, object]:
@@ -288,6 +316,23 @@ class MetricsRegistry:
         for registry in registries:
             result.merge(registry)
         return result
+
+    @classmethod
+    def from_snapshot(cls, data: Dict[str, object]) -> "MetricsRegistry":
+        """Rebuild a registry from a :meth:`snapshot` taken with buckets.
+
+        Counters and gauges restore exactly; histograms restore bucket-wise
+        (see :meth:`LatencyHistogram.from_snapshot`), so merging restored
+        per-worker registries is bit-identical to merging the live ones.
+        """
+        registry = cls()
+        for name, value in data.get("counters", {}).items():
+            registry.counter(name).inc(float(value))
+        for name, value in data.get("gauges", {}).items():
+            registry.gauge(name).set(float(value))
+        for name, histogram_data in data.get("histograms", {}).items():
+            registry._histograms[name] = LatencyHistogram.from_snapshot(name, histogram_data)
+        return registry
 
     # -- Export -----------------------------------------------------------------------
 

@@ -121,8 +121,16 @@ class Tracer:
         return span
 
     def end(self, span: Span, clock=None) -> None:
-        """Close ``span`` (and any forgotten children still open under it)."""
+        """Close ``span`` (and any forgotten children still open under it).
+
+        Ending a span that is no longer on the open stack (already ended, or
+        opened under a different tracer) only stamps its end time — it must
+        not pop unrelated spans, or one double-``end`` on an exception path
+        would orphan every span the *next* operation opens.
+        """
         span.end_ms = max(span.start_ms, _now(clock))
+        if not any(open_span is span for open_span in self._stack):
+            return
         while self._stack:
             open_span = self._stack.pop()
             if open_span is span:

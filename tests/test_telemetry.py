@@ -240,6 +240,66 @@ class TestTracer:
             assert trace_mod.ACTIVE is tracer
         assert trace_mod.ACTIVE is None
 
+    def test_double_end_does_not_drain_the_stack(self):
+        """Regression: ending an already-ended span must not pop other spans.
+
+        Before the stack guard, a second ``end`` on a closed span drained the
+        open stack down to (and including) whatever happened to be open, so
+        one double-end on an exception path orphaned every span the next
+        operation opened.
+        """
+        tracer = Tracer()
+        outer = tracer.begin("outer")
+        inner = tracer.begin("inner")
+        tracer.end(inner)
+        tracer.end(inner)  # double-end: must be a stamp-only no-op
+        assert tracer.current is outer
+        late = tracer.begin("late")
+        assert late.parent_id == outer.span_id
+        tracer.end(late)
+        tracer.end(outer)
+        assert tracer.current is None
+
+    def test_ending_foreign_span_leaves_stack_intact(self):
+        tracer = Tracer()
+        other = Tracer()
+        foreign = other.begin("foreign")
+        mine = tracer.begin("mine")
+        tracer.end(foreign)  # not on this tracer's stack
+        assert tracer.current is mine
+        tracer.end(mine)
+
+    def test_stack_balanced_when_batch_operation_raises(self):
+        """Regression: the executor's shard span closes on *any* exception.
+
+        An operation that raises something other than DeviceFailedError used
+        to leave the ``shard.batch`` span open forever; every later span was
+        then silently parented under a dead branch of the trace.
+        """
+        cluster = ClusterService(
+            num_shards=2,
+            config=CLAMConfig.scaled(
+                num_super_tables=4, buffer_capacity_items=32, incarnations_per_table=4
+            ),
+        )
+        owner = cluster.shard_for(b"key")
+
+        def exploding_insert(key, value):
+            raise ValueError("buggy shard")
+
+        cluster.shards[owner].insert = exploding_insert
+        with tracing(Tracer()) as tracer:
+            with pytest.raises(ValueError, match="buggy shard"):
+                cluster.execute_batch([Operation(OpKind.INSERT, b"key", b"value")])
+            assert tracer.current is None  # every span closed despite the raise
+            # The next root span starts a fresh trace instead of being
+            # silently parented under the failed batch's leftovers.
+            follow_up = tracer.begin("follow-up")
+            assert follow_up.parent_id is None
+            tracer.end(follow_up)
+            shard_spans = tracer.find("shard.batch")
+            assert shard_spans and all(s.attributes.get("failed") for s in shard_spans)
+
 
 class TestClamTelemetry:
     def test_disabled_by_default(self):

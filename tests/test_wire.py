@@ -1,0 +1,234 @@
+"""Tests for the length-prefixed shard wire protocol (repro.service.wire)."""
+
+import socket
+import struct
+
+import pytest
+
+from repro.core.errors import (
+    DeviceFailedError,
+    ShardUnavailableError,
+    WireProtocolError,
+)
+from repro.core.hashing import KeyDigest
+from repro.core.results import DeleteResult, InsertResult, LookupResult, ServedFrom
+from repro.service import wire
+from repro.workloads.workload import OpKind
+
+
+@pytest.fixture
+def pair():
+    left, right = socket.socketpair()
+    yield left, right
+    left.close()
+    right.close()
+
+
+class TestFraming:
+    def test_roundtrip(self, pair):
+        left, right = pair
+        wire.send_frame(left, wire.FRAME_CONTROL_REQUEST, b"payload-bytes")
+        frame_type, payload = wire.recv_frame(right)
+        assert frame_type == wire.FRAME_CONTROL_REQUEST
+        assert payload == b"payload-bytes"
+
+    def test_multiple_frames_stay_delimited(self, pair):
+        left, right = pair
+        for index in range(5):
+            wire.send_frame(left, wire.FRAME_BATCH_REQUEST, b"x" * index)
+        for index in range(5):
+            _, payload = wire.recv_frame(right)
+            assert payload == b"x" * index
+
+    def test_truncated_frame_raises_typed_error(self, pair):
+        """A peer dying mid-frame surfaces as TruncatedFrameError, not a hang."""
+        left, right = pair
+        full = struct.pack("<I", 100) + struct.pack("<BB", wire.WIRE_VERSION, 1) + b"y" * 98
+        left.sendall(full[:30])  # length promises 100 body bytes; send 26
+        left.close()
+        with pytest.raises(wire.TruncatedFrameError, match="26 of 100"):
+            wire.recv_frame(right)
+
+    def test_eof_before_any_bytes_is_truncated(self, pair):
+        left, right = pair
+        left.close()
+        with pytest.raises(wire.TruncatedFrameError, match="0 of 4"):
+            wire.recv_frame(right)
+
+    def test_oversized_length_prefix_rejected(self, pair):
+        """A corrupt length prefix must fail fast, not attempt a 4 GiB recv."""
+        left, right = pair
+        left.sendall(struct.pack("<I", wire.MAX_FRAME_BYTES + 1))
+        with pytest.raises(wire.OversizedFrameError):
+            wire.recv_frame(right)
+
+    def test_oversized_send_rejected(self, pair):
+        left, _right = pair
+
+        class Huge(bytes):
+            def __len__(self):
+                return wire.MAX_FRAME_BYTES + 1
+
+        with pytest.raises(wire.OversizedFrameError):
+            wire.send_frame(left, wire.FRAME_BATCH_REQUEST, Huge())
+
+    def test_wrong_version_rejected(self, pair):
+        left, right = pair
+        body = struct.pack("<BB", wire.WIRE_VERSION + 1, wire.FRAME_BATCH_REQUEST)
+        left.sendall(struct.pack("<I", len(body)) + body)
+        with pytest.raises(WireProtocolError, match="version"):
+            wire.recv_frame(right)
+
+    def test_unknown_frame_type_rejected(self, pair):
+        left, right = pair
+        body = struct.pack("<BB", wire.WIRE_VERSION, 99)
+        left.sendall(struct.pack("<I", len(body)) + body)
+        with pytest.raises(WireProtocolError, match="frame type"):
+            wire.recv_frame(right)
+
+    def test_body_shorter_than_preamble_rejected(self, pair):
+        left, right = pair
+        left.sendall(struct.pack("<I", 1) + b"z")
+        with pytest.raises(WireProtocolError, match="too short"):
+            wire.recv_frame(right)
+
+
+class TestErrorCodes:
+    def test_none_is_silent(self):
+        wire.raise_for_code(wire.ERR_NONE, "")
+
+    def test_device_failed(self):
+        with pytest.raises(DeviceFailedError, match="boom"):
+            wire.raise_for_code(wire.ERR_DEVICE_FAILED, "boom")
+
+    def test_shard_unavailable(self):
+        with pytest.raises(ShardUnavailableError, match="gone"):
+            wire.raise_for_code(wire.ERR_SHARD_UNAVAILABLE, "gone")
+
+    def test_unexpected_maps_to_wire_protocol_error(self):
+        with pytest.raises(WireProtocolError):
+            wire.raise_for_code(wire.ERR_UNEXPECTED, "worker exploded")
+
+
+class TestBatchRequest:
+    def test_roundtrip_preserves_ops_keys_and_memoised_digests(self):
+        digest = KeyDigest(b"fingerprint-1")
+        digest.digest(7)
+        digest.digest(1234567)
+        operations = [
+            (OpKind.INSERT, digest, b"value-bytes"),
+            (OpKind.LOOKUP, b"plain-key", b""),
+            (OpKind.DELETE, KeyDigest(b"dead"), b""),
+            (OpKind.UPDATE, b"k2", b"\x00\xff" * 8),
+        ]
+        payload = wire.encode_batch_request(1.25, operations)
+        advance_ms, decoded = wire.decode_batch_request(payload)
+        assert advance_ms == 1.25
+        assert [(k, d.data, v) for k, d, v in decoded] == [
+            (OpKind.INSERT, b"fingerprint-1", b"value-bytes"),
+            (OpKind.LOOKUP, b"plain-key", b""),
+            (OpKind.DELETE, b"dead", b""),
+            (OpKind.UPDATE, b"k2", b"\x00\xff" * 8),
+        ]
+        # The memoised seeded digests ride along bit-exactly (hash-once
+        # across the process boundary).
+        assert decoded[0][1]._seeded == digest._seeded
+
+    def test_unknown_op_code_rejected(self):
+        payload = struct.pack("<dI", 0.0, 1) + struct.pack("<B", 200)
+        with pytest.raises(WireProtocolError, match="operation code"):
+            wire.decode_batch_request(payload)
+
+
+class TestBatchResponse:
+    def roundtrip(self, results, error_code=wire.ERR_NONE, message=""):
+        payload = wire.encode_batch_response(results, error_code, message, 12.5, 3.25)
+        return wire.decode_batch_response(payload)
+
+    def test_lookup_results_roundtrip_every_served_from(self):
+        originals = [
+            LookupResult(b"k1", b"v1", 0.123456789, ServedFrom.BUFFER),
+            LookupResult(b"k2", b"v2", 1.5, ServedFrom.INCARNATION, 3, 2, 1),
+            LookupResult(b"k3", None, 0.25, ServedFrom.DELETED),
+            LookupResult(b"k4", None, 0.75, ServedFrom.MISSING, 4, 4, 4),
+        ]
+        decoded, code, message, clock_ms, busy_ms = self.roundtrip(originals)
+        assert decoded == originals  # dataclass equality: every field, bit-exact
+        assert (code, message) == (wire.ERR_NONE, "")
+        assert (clock_ms, busy_ms) == (12.5, 3.25)
+
+    def test_insert_and_delete_results_roundtrip(self):
+        originals = [
+            InsertResult(b"k", 0.1 + 0.2, flushed=True, flush_latency_ms=7.7,
+                         incarnations_tried=2, flash_writes=5, flash_reads=3),
+            InsertResult(b"k2", 0.001),
+            DeleteResult(b"gone", 0.5, removed_from_buffer=True),
+            DeleteResult(b"gone2", 1.0 / 3.0),
+        ]
+        decoded, _, _, _, _ = self.roundtrip(originals)
+        assert decoded == originals
+
+    def test_float_fields_survive_bit_exactly(self):
+        """Latencies feed the bit-identical contract; doubles must not drift."""
+        awkward = 1.0000000000000002  # one ulp above 1.0
+        decoded, _, _, clock_ms, _ = wire.decode_batch_response(
+            wire.encode_batch_response(
+                [InsertResult(b"k", awkward)], wire.ERR_NONE, "", awkward, 0.0
+            )
+        )
+        assert decoded[0].latency_ms == awkward
+        assert clock_ms == awkward
+
+    def test_error_code_and_message_roundtrip(self):
+        decoded, code, message, _, _ = self.roundtrip(
+            [InsertResult(b"k", 1.0)], wire.ERR_DEVICE_FAILED, "DeviceFailedError: dead"
+        )
+        assert len(decoded) == 1  # truncated result list rides with the error
+        assert code == wire.ERR_DEVICE_FAILED
+        assert message == "DeviceFailedError: dead"
+
+    def test_unknown_result_record_rejected(self):
+        payload = wire.encode_batch_response([], wire.ERR_NONE, "", 0.0, 0.0)
+        payload += struct.pack("<BI", 77, 0)
+        header = struct.calcsize("<ddBII")
+        broken = payload[:header].replace(
+            struct.pack("<I", 0), struct.pack("<I", 1), 1
+        )
+        # Rebuild with result_count=1 pointing at the bogus record.
+        clock_ms, busy_ms, code, msg_len, _ = struct.unpack_from("<ddBII", payload)
+        broken = struct.pack("<ddBII", clock_ms, busy_ms, code, msg_len, 1) + payload[header:]
+        with pytest.raises(WireProtocolError, match="record type"):
+            wire.decode_batch_response(broken)
+
+
+class TestControlFrames:
+    def test_roundtrip(self):
+        message = {"op": "fault", "mode": "crash", "kwargs": {"after_n_ios": 3}}
+        assert wire.decode_control(wire.encode_control(message)) == message
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(WireProtocolError, match="malformed"):
+            wire.decode_control(b"{not json")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(WireProtocolError, match="object"):
+            wire.decode_control(b"[1, 2, 3]")
+
+
+class TestKeyDigestWire:
+    def test_digest_without_seeds(self):
+        digest, offset = KeyDigest.from_wire(KeyDigest(b"abc").to_wire())
+        assert digest.data == b"abc"
+        assert digest._seeded == {}
+        assert offset == 5 + 3
+
+    def test_consecutive_digests_share_buffer(self):
+        first = KeyDigest(b"one")
+        first.digest(1)
+        second = KeyDigest(b"two")
+        payload = first.to_wire() + second.to_wire()
+        a, offset = KeyDigest.from_wire(payload)
+        b, end = KeyDigest.from_wire(payload, offset)
+        assert (a.data, b.data) == (b"one", b"two")
+        assert a._seeded == first._seeded
+        assert end == len(payload)
