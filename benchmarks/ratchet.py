@@ -213,6 +213,44 @@ REGISTRY: Dict[str, RatchetSpec] = {
             Metric("spec.parity_replication_factor", "exact"),
         ),
     ),
+    "chaos": RatchetSpec(
+        name="chaos",
+        fresh="chaos_quick",
+        committed="chaos",
+        metrics=(
+            # The headline contract: a randomized fault schedule at RF=2
+            # costs latency, never acknowledged data.
+            Metric("chaos.lost_acked_writes", "max-value", 0),
+            Metric("chaos.lost_acked_writes", "exact"),
+            Metric("chaos.availability", "min-fraction", 0.99),
+            Metric("chaos.availability", "min-value", 0.99),
+            # Chaos must actually fire for the run to mean anything, and the
+            # deadline/retry budget must bound every single-key operation.
+            Metric("chaos.injected_faults", "min-value", 1),
+            Metric("chaos.max_op_latency_ms", "max-value", 2_500.0),
+            # The stall drill: hedges reroute around a frozen worker without
+            # declaring it dead; the deadline path then opens the circuit,
+            # and nothing is lost across the supervisor restart.
+            Metric("stall.hedge_fired", "min-value", 1),
+            Metric("stall.victim_down_during_hedge", "max-value", 0),
+            Metric("stall.workers_stalled", "min-value", 1),
+            Metric("stall.victim_down_after_deadline", "min-value", 1),
+            Metric("stall.lost_keys", "max-value", 0),
+            Metric("stall.seeded_keys", "exact"),
+            # Chaos off, the resilience machinery must be bit-invisible.
+            Metric("parity.results_identical", "min-value", 1),
+            Metric("parity.mismatches", "max-value", 0),
+            Metric("parity.counters_identical", "min-value", 1),
+            Metric("parity.clock_identical", "min-value", 1),
+            Metric("parity.rpc_events_absent", "min-value", 1),
+            Metric("parity.operations", "exact"),
+            # The resilience budget itself is part of the contract.
+            Metric("spec.replication_factor", "exact"),
+            Metric("spec.request_deadline_ms", "exact"),
+            Metric("spec.retry_limit", "exact"),
+            Metric("spec.hedge_delay_ms", "exact"),
+        ),
+    ),
 }
 
 

@@ -65,6 +65,19 @@ class WorkerDiedError(DeviceFailedError):
     treat a dead worker exactly like a crash-stopped device."""
 
 
+class WorkerStalledError(DeviceFailedError):
+    """Raised when a shard worker misses its per-request deadline — the
+    process is (or may still be) alive but hung, wedged mid-frame, or stuck
+    behind a lossy transport, and every bounded retry has been exhausted.
+
+    The gray-failure twin of :class:`WorkerDiedError`: a hang must not become
+    a parent-process hang, so the :class:`~repro.service.parallel.RemoteShard`
+    proxy opens its circuit (refusing further frames until the supervisor
+    restarts the worker) and raises this.  Subclasses
+    :class:`DeviceFailedError` so replica failover, hinted handoff and the
+    kill/restart supervisor treat a stalled worker exactly like a dead one."""
+
+
 class ClusterCloseError(BufferHashError):
     """Raised by ``ClusterService.close()`` after attempting to close *every*
     shard when one or more of them failed to close.  Carries the per-shard

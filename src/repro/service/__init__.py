@@ -46,6 +46,7 @@ from repro.service.batch import (
     BatchResult,
     ShardBatchStats,
 )
+from repro.service.chaos import CHAOS_FAULTS, ChaosSchedule, ChaosTransport, derive_seed
 from repro.service.cluster import ClusterService, ClusterStats
 from repro.service.parallel import ParallelBatchExecutor, ParallelClusterService, RemoteShard
 from repro.service.rebalance import (
@@ -80,6 +81,10 @@ __all__ = [
     "ParallelBatchExecutor",
     "ParallelClusterService",
     "RemoteShard",
+    "CHAOS_FAULTS",
+    "ChaosSchedule",
+    "ChaosTransport",
+    "derive_seed",
     "ShardRouter",
     "HandoffStats",
     "RING_SPACE",

@@ -49,8 +49,9 @@ from __future__ import annotations
 import multiprocessing
 import os
 import socket
+import sys
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.clam import CLAM
 from repro.core.config import CLAMConfig
@@ -60,11 +61,13 @@ from repro.core.errors import (
     DeviceFailedError,
     WireProtocolError,
     WorkerDiedError,
+    WorkerStalledError,
 )
 from repro.core.recovery import CrashRecoveryReport, DurableCLAM
 from repro.flashsim.clock import SimulationClock
 from repro.service import wire
 from repro.service.batch import BatchExecutor, BatchResult, ShardBatchStats, _count, _Slot
+from repro.service.chaos import ChaosSchedule, ChaosTransport, derive_seed
 from repro.service.cluster import ClusterService
 from repro.telemetry import trace as _trace
 from repro.telemetry.registry import MetricsRegistry
@@ -72,10 +75,34 @@ from repro.workloads.runner import apply_operation
 from repro.workloads.workload import Operation, OpKind
 
 __all__ = [
+    "DEFAULT_REQUEST_DEADLINE_MS",
+    "DEFAULT_RETRY_BACKOFF_CAP_MS",
+    "DEFAULT_RETRY_BACKOFF_MS",
+    "DEFAULT_RETRY_LIMIT",
     "ParallelBatchExecutor",
     "ParallelClusterService",
     "RemoteShard",
 ]
+
+#: Per-request deadline: how long the parent waits for one worker response
+#: before treating the attempt as stalled.  Generous — healthy workers on a
+#: socketpair answer in microseconds, so this only fires for genuine hangs.
+DEFAULT_REQUEST_DEADLINE_MS = 30_000.0
+
+#: Bounded idempotent retries after a timed-out or corrupted response (the
+#: request is resent with the *same* sequence number, so a late answer to an
+#: earlier attempt is recognised and discarded, never mis-matched).
+DEFAULT_RETRY_LIMIT = 2
+
+#: Exponential backoff between retries, capped so a retry burst under chaos
+#: stays well inside one deadline.
+DEFAULT_RETRY_BACKOFF_MS = 5.0
+DEFAULT_RETRY_BACKOFF_CAP_MS = 50.0
+
+#: Worker exit codes (beyond 0 = clean and the usual -signal values):
+#: a desynchronised wire stream, and an unexpected socket error.
+WORKER_EXIT_DESYNC = 2
+WORKER_EXIT_SOCKET_ERROR = 3
 
 
 class _MirrorClock:
@@ -199,6 +226,20 @@ def _handle_control(clam: CLAM, request: Dict[str, object]) -> Dict[str, object]
     return {"ok": False, "error": f"unknown control op {op!r}"}
 
 
+def _send_fatal(conn: socket.socket, error: Exception) -> None:
+    """Best-effort dying words: tell the parent *why* the worker is exiting.
+
+    Sent with sequence number 0 (no request maps to it); the parent's
+    response matcher special-cases control frames carrying a ``fatal`` key
+    so the reason survives even though the sequence number is stale.
+    """
+    note = {"ok": False, "fatal": type(error).__name__, "error": str(error)}
+    try:
+        wire.send_frame(conn, wire.FRAME_CONTROL_RESPONSE, wire.encode_control(note))
+    except OSError:  # the stream is already gone; exiting is all that is left
+        pass
+
+
 def _worker_main(
     conn: socket.socket,
     shard_id: str,
@@ -215,9 +256,18 @@ def _worker_main(
     the socket.  The loop exits on a clean ``close`` control frame or when
     the parent hangs up (EOF), and a persistent CLAM is always closed on the
     way out so an orphaned worker still checkpoints its file.
+
+    Malformed traffic is survived or reported, never amplified: a frame that
+    fails its CRC is discarded (framing is intact — the parent's deadline and
+    retry path resends it), while a desynchronised stream (garbage length
+    prefix or preamble) is unrecoverable, so the worker sends a fatal control
+    frame naming the error and exits with :data:`WORKER_EXIT_DESYNC`.
+    Genuine socket errors exit with :data:`WORKER_EXIT_SOCKET_ERROR` instead
+    of masquerading as a clean parent hang-up.
     """
     _trace.ACTIVE = None  # the parent's tracer must not leak across the fork
     clam: Optional[CLAM] = None
+    exit_code = 0
     try:
         try:
             if storage == "persistent":
@@ -250,27 +300,54 @@ def _worker_main(
         hash_once = clam.config.use_hash_once
         while True:
             try:
-                frame_type, payload = wire.recv_frame(conn)
-            except (wire.TruncatedFrameError, OSError):
-                break  # parent hung up
-            if frame_type == wire.FRAME_BATCH_REQUEST:
-                response = _handle_batch(clam, hash_once, payload)
-                wire.send_frame(conn, wire.FRAME_BATCH_RESPONSE, response)
-            elif frame_type == wire.FRAME_CONTROL_REQUEST:
-                request = wire.decode_control(payload)
-                if request.get("op") == "close":
-                    reply: Dict[str, object] = {"ok": True}
-                    if isinstance(clam, DurableCLAM):
-                        try:
-                            clam.close()
-                        except Exception as error:
-                            reply = {"ok": False, "error": f"{type(error).__name__}: {error}"}
-                    wire.send_frame(conn, wire.FRAME_CONTROL_RESPONSE, wire.encode_control(reply))
-                    break
-                reply = _handle_control(clam, request)
-                wire.send_frame(conn, wire.FRAME_CONTROL_RESPONSE, wire.encode_control(reply))
-            else:  # pragma: no cover - recv_frame validates frame types
+                frame_type, seq, payload = wire.recv_frame(conn)
+            except wire.CorruptFrameError:
+                # Framing held (sane length, full body) but the bytes are
+                # damaged.  Dropping the frame keeps the stream synchronised;
+                # the parent's deadline expires and its retry resends.
+                continue
+            except wire.TruncatedFrameError:
+                break  # parent hung up: the clean shutdown path
+            except wire.WireProtocolError as error:
+                # Desynchronised stream (corrupt length prefix, bad preamble,
+                # oversized frame): nothing after this point can be framed.
+                _send_fatal(conn, error)
+                exit_code = WORKER_EXIT_DESYNC
                 break
+            except (ConnectionResetError, BrokenPipeError):
+                break  # parent died: equivalent to a hang-up
+            except OSError as error:
+                _send_fatal(conn, error)
+                exit_code = WORKER_EXIT_SOCKET_ERROR
+                break
+            try:
+                if frame_type == wire.FRAME_BATCH_REQUEST:
+                    response = _handle_batch(clam, hash_once, payload)
+                    wire.send_frame(conn, wire.FRAME_BATCH_RESPONSE, response, seq=seq)
+                elif frame_type == wire.FRAME_CONTROL_REQUEST:
+                    request = wire.decode_control(payload)
+                    if request.get("op") == "close":
+                        reply: Dict[str, object] = {"ok": True}
+                        if isinstance(clam, DurableCLAM):
+                            try:
+                                clam.close()
+                            except Exception as error:
+                                reply = {
+                                    "ok": False,
+                                    "error": f"{type(error).__name__}: {error}",
+                                }
+                        wire.send_frame(
+                            conn, wire.FRAME_CONTROL_RESPONSE, wire.encode_control(reply), seq=seq
+                        )
+                        break
+                    reply = _handle_control(clam, request)
+                    wire.send_frame(
+                        conn, wire.FRAME_CONTROL_RESPONSE, wire.encode_control(reply), seq=seq
+                    )
+                else:  # pragma: no cover - recv_frame validates frame types
+                    break
+            except OSError:
+                break  # parent vanished mid-response
     finally:
         try:
             conn.close()
@@ -281,6 +358,8 @@ def _worker_main(
                 clam.close()
             except Exception:  # pragma: no cover - dead device at exit
                 pass
+    if exit_code:
+        sys.exit(exit_code)
 
 
 # -- Parent-side shard proxy --------------------------------------------------------
@@ -298,7 +377,15 @@ class RemoteShard:
 
     Transport failures (EOF, broken pipe) mark the proxy dead and raise
     :class:`~repro.core.errors.WorkerDiedError` so callers handle a dead
-    worker exactly like a crash-stopped device.
+    worker exactly like a crash-stopped device.  Gray failures are bounded
+    too: every request carries a deadline (``request_deadline_ms``) enforced
+    with socket timeouts, a timed-out or CRC-corrupted response is retried
+    up to ``retry_limit`` times with capped exponential backoff (the resend
+    reuses the request's sequence number, so a late answer to an earlier
+    attempt is discarded rather than mis-matched), and once retries are
+    exhausted the proxy opens its circuit — marks itself dead and raises
+    :class:`~repro.core.errors.WorkerStalledError` — so a hung worker feeds
+    the exact same supervisor/replication machinery as a dead one.
     """
 
     def __init__(
@@ -310,11 +397,28 @@ class RemoteShard:
         data_path: Optional[str] = None,
         eviction_policy=None,
         keep_latency_samples: bool = True,
+        request_deadline_ms: float = DEFAULT_REQUEST_DEADLINE_MS,
+        retry_limit: int = DEFAULT_RETRY_LIMIT,
+        retry_backoff_ms: float = DEFAULT_RETRY_BACKOFF_MS,
+        retry_backoff_cap_ms: float = DEFAULT_RETRY_BACKOFF_CAP_MS,
+        on_event: Optional[Callable[..., None]] = None,
     ) -> None:
+        if request_deadline_ms <= 0:
+            raise ConfigurationError("request_deadline_ms must be positive")
+        if retry_limit < 0:
+            raise ConfigurationError("retry_limit must be non-negative")
         self.shard_id = shard_id
         self.config = config
         self.storage = storage
         self.data_path = data_path
+        self.request_deadline_ms = float(request_deadline_ms)
+        self.retry_limit = int(retry_limit)
+        self.retry_backoff_ms = float(retry_backoff_ms)
+        self.retry_backoff_cap_ms = float(retry_backoff_cap_ms)
+        #: RPC-resilience event hook: ``on_event(kind, **attributes)`` fires
+        #: for ``rpc_timeout`` / ``rpc_retry`` / ``worker_stalled``.  The
+        #: cluster wires it to its EventLog and per-shard counters.
+        self.on_event = on_event
         self.clock = _MirrorClock()
         #: Always ``None``: the worker's registry lives in the worker; fetch a
         #: mergeable copy with :meth:`telemetry_registry`.  The attribute keeps
@@ -328,6 +432,8 @@ class RemoteShard:
         self.process = None
         self._dead = False
         self._closed = False
+        self._seq = 0
+        self._inflight: Optional[Tuple[int, int, bytes]] = None
         self._spawn()
 
     def _spawn(self) -> None:
@@ -351,7 +457,9 @@ class RemoteShard:
         self._sock = parent_sock
         self._dead = False
         self._closed = False
-        hello = wire.decode_control(self._recv(wire.FRAME_CONTROL_RESPONSE))
+        self._seq = 0
+        self._inflight = None
+        hello = wire.decode_control(self._recv_plain(wire.FRAME_CONTROL_RESPONSE))
         if not hello.get("ok"):
             self.process.join(timeout=10.0)
             raise ConfigurationError(
@@ -382,19 +490,30 @@ class RemoteShard:
             f"worker for shard {self.shard_id!r} died ({action}: {type(error).__name__}: {error})"
         )
 
-    def _send(self, frame_type: int, payload: bytes) -> None:
+    def _event(self, kind: str, **attributes) -> None:
+        if self.on_event is not None:
+            self.on_event(kind, **attributes)
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _send(self, frame_type: int, payload: bytes, seq: int) -> None:
         if self._sock is None or self._dead or self._closed:
             raise WorkerDiedError(f"worker for shard {self.shard_id!r} is not running")
         try:
-            wire.send_frame(self._sock, frame_type, payload)
+            wire.send_frame(self._sock, frame_type, payload, seq=seq)
         except OSError as error:
             raise self._mark_dead(error, "send") from error
 
-    def _recv(self, expected_type: int) -> bytes:
+    def _recv_plain(self, expected_type: int) -> bytes:
+        """Blocking receive with no sequence matching — the hello handshake
+        only (a persistent worker may legitimately spend a while in crash
+        recovery before it can greet)."""
         if self._sock is None:
             raise WorkerDiedError(f"worker for shard {self.shard_id!r} is not running")
         try:
-            frame_type, payload = wire.recv_frame(self._sock)
+            frame_type, _seq, payload = wire.recv_frame(self._sock)
         except (wire.TruncatedFrameError, OSError) as error:
             raise self._mark_dead(error, "recv") from error
         if frame_type != expected_type:
@@ -403,6 +522,114 @@ class RemoteShard:
                 f"expected {expected_type}"
             )
         return payload
+
+    def _recv_matching(self, expected_type: int, seq: int, timeout_s: float) -> bytes:
+        """One response frame with the right sequence number, within a deadline.
+
+        Stale frames — duplicates injected by the transport, or late answers
+        to a request an earlier attempt (or an abandoned hedge) already gave
+        up on — are silently discarded; a control frame carrying a ``fatal``
+        key is the worker's dying words and raises
+        :class:`~repro.core.errors.WorkerDiedError` with the reported reason
+        regardless of its sequence number.  Raises ``TimeoutError`` when the
+        deadline expires and :class:`~repro.service.wire.CorruptFrameError`
+        on a CRC mismatch; both are the caller's retry currency.  EOF and
+        genuine socket errors mark the proxy dead.
+        """
+        if self._sock is None:
+            raise WorkerDiedError(f"worker for shard {self.shard_id!r} is not running")
+        sock = self._sock
+        deadline = time.monotonic() + timeout_s
+        try:
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise socket.timeout(
+                        f"no response from shard {self.shard_id!r} within {timeout_s * 1000:g} ms"
+                    )
+                sock.settimeout(remaining)
+                try:
+                    frame_type, frame_seq, payload = wire.recv_frame(sock)
+                except (wire.TruncatedFrameError, OSError) as error:
+                    if isinstance(error, TimeoutError):
+                        raise
+                    raise self._mark_dead(error, "recv") from error
+                if frame_type == wire.FRAME_CONTROL_RESPONSE and frame_seq != seq:
+                    try:
+                        note = wire.decode_control(payload)
+                    except WireProtocolError:
+                        continue  # stale and unreadable: drop it
+                    if note.get("fatal"):
+                        error = WireProtocolError(
+                            f"worker reported fatal {note.get('fatal')}: {note.get('error')}"
+                        )
+                        raise self._mark_dead(error, "fatal") from error
+                    continue  # stale control response from an abandoned request
+                if frame_seq != seq:
+                    continue  # duplicate or late answer to an earlier attempt
+                if frame_type != expected_type:
+                    raise WireProtocolError(
+                        f"worker for shard {self.shard_id!r} sent frame type {frame_type}, "
+                        f"expected {expected_type}"
+                    )
+                return payload
+        finally:
+            try:
+                sock.settimeout(None)
+            except OSError:  # pragma: no cover - socket died mid-conversation
+                pass
+
+    def _await_response(
+        self,
+        seq: int,
+        frame_type: int,
+        payload: bytes,
+        expected_type: int,
+        timeout_s: Optional[float] = None,
+        attempts: Optional[int] = None,
+    ) -> bytes:
+        """Deadline + bounded-retry response wait (the request was already sent).
+
+        Retryable failures — a missed deadline, a corrupted response — resend
+        the identical frame (same sequence number: operations are idempotent
+        re-sends, and a late original answer is discarded by the matcher).
+        Exhausting the budget opens the circuit: the proxy is marked dead so
+        the supervisor restarts the worker, and the caller gets
+        :class:`~repro.core.errors.WorkerStalledError` (deadline) or
+        :class:`~repro.core.errors.WorkerDiedError` (unrecoverable
+        corruption), both :class:`~repro.core.errors.DeviceFailedError`
+        subclasses feeding replica failover and hinted handoff.
+        """
+        timeout_s = self.request_deadline_ms / 1000.0 if timeout_s is None else timeout_s
+        attempts = self.retry_limit + 1 if attempts is None else attempts
+        backoff_s = self.retry_backoff_ms / 1000.0
+        cap_s = self.retry_backoff_cap_ms / 1000.0
+        last_error: Optional[Exception] = None
+        reason = ""
+        for attempt in range(attempts):
+            if attempt:
+                self._event("rpc_retry", attempt=attempt, reason=reason)
+                time.sleep(backoff_s)
+                backoff_s = min(backoff_s * 2.0, cap_s)
+                self._send(frame_type, payload, seq)
+            try:
+                return self._recv_matching(expected_type, seq, timeout_s)
+            except TimeoutError as error:
+                last_error, reason = error, "timeout"
+                self._event("rpc_timeout", attempt=attempt)
+            except wire.CorruptFrameError as error:
+                last_error, reason = error, "corrupt"
+        self._dead = True  # circuit open: no more frames until a restart
+        self._event("worker_stalled", reason=reason, attempts=attempts)
+        if reason == "corrupt":
+            raise WorkerDiedError(
+                f"worker for shard {self.shard_id!r} returned corrupt frames "
+                f"through {attempts} attempt(s)"
+            ) from last_error
+        raise WorkerStalledError(
+            f"worker for shard {self.shard_id!r} missed its "
+            f"{timeout_s * 1000:g} ms deadline {attempts} time(s)"
+        ) from last_error
 
     # -- Batch scatter/gather ----------------------------------------------------------
 
@@ -415,12 +642,48 @@ class RemoteShard:
         if extra_advance_ms:
             self.clock.advance(extra_advance_ms)
         advance_ms = self.clock.consume_pending_ms()
-        self._send(wire.FRAME_BATCH_REQUEST, wire.encode_batch_request(advance_ms, operations))
+        payload = wire.encode_batch_request(advance_ms, operations)
+        seq = self._next_seq()
+        self._inflight = (seq, wire.FRAME_BATCH_REQUEST, payload)
+        self._send(wire.FRAME_BATCH_REQUEST, payload, seq)
 
-    def recv_batch(self) -> Tuple[List[object], int, str, float]:
-        """Gather half: returns ``(results, error_code, message, busy_ms)``."""
-        payload = self._recv(wire.FRAME_BATCH_RESPONSE)
-        results, error_code, message, clock_ms, busy_ms = wire.decode_batch_response(payload)
+    def recv_batch(
+        self,
+        probe_timeout_ms: Optional[float] = None,
+        probe: bool = False,
+    ) -> Tuple[List[object], int, str, float]:
+        """Gather half: returns ``(results, error_code, message, busy_ms)``.
+
+        ``probe=True`` is the hedged-read mode: one attempt with
+        ``probe_timeout_ms`` as the deadline, no retries, no circuit-opening
+        — a miss raises :class:`~repro.core.errors.WorkerStalledError` while
+        leaving the worker marked alive, and the executor reroutes the
+        lookups to another replica (the abandoned response is discarded by
+        sequence number on the next exchange).
+        """
+        if self._inflight is None:
+            raise WireProtocolError(f"no batch in flight for shard {self.shard_id!r}")
+        seq, frame_type, payload = self._inflight
+        if probe:
+            timeout_ms = (
+                probe_timeout_ms if probe_timeout_ms is not None else self.request_deadline_ms
+            )
+            try:
+                response = self._recv_matching(
+                    wire.FRAME_BATCH_RESPONSE, seq, timeout_ms / 1000.0
+                )
+            except TimeoutError as error:
+                raise WorkerStalledError(
+                    f"shard {self.shard_id!r} missed the {timeout_ms:g} ms hedge window"
+                ) from error
+            except wire.CorruptFrameError as error:
+                raise WorkerStalledError(
+                    f"shard {self.shard_id!r} returned a corrupt frame in the hedge window"
+                ) from error
+        else:
+            response = self._await_response(seq, frame_type, payload, wire.FRAME_BATCH_RESPONSE)
+        self._inflight = None
+        results, error_code, message, clock_ms, busy_ms = wire.decode_batch_response(response)
         self.clock.sync(clock_ms)
         return results, error_code, message, busy_ms
 
@@ -446,9 +709,24 @@ class RemoteShard:
 
     # -- Controls ----------------------------------------------------------------------
 
-    def _control(self, request: Dict[str, object]) -> Dict[str, object]:
-        self._send(wire.FRAME_CONTROL_REQUEST, wire.encode_control(request))
-        return wire.decode_control(self._recv(wire.FRAME_CONTROL_RESPONSE))
+    def _control(
+        self,
+        request: Dict[str, object],
+        timeout_s: Optional[float] = None,
+        attempts: Optional[int] = None,
+    ) -> Dict[str, object]:
+        payload = wire.encode_control(request)
+        seq = self._next_seq()
+        self._send(wire.FRAME_CONTROL_REQUEST, payload, seq)
+        response = self._await_response(
+            seq,
+            wire.FRAME_CONTROL_REQUEST,
+            payload,
+            wire.FRAME_CONTROL_RESPONSE,
+            timeout_s=timeout_s,
+            attempts=attempts,
+        )
+        return wire.decode_control(response)
 
     def counters(self) -> Dict[str, float]:
         reply = self._control({"op": "counters"})
@@ -488,13 +766,20 @@ class RemoteShard:
             self.process.join(timeout=10.0)
 
     def shutdown(self, timeout_s: float = 10.0) -> None:
-        """Cleanly stop the worker (idempotent).
+        """Cleanly stop the worker (idempotent), escalating on a hang.
 
         A live worker is asked to close over the wire — a persistent CLAM
         flushes and checkpoints before the ack — then reaped; a dead one is
-        just reaped.  Raises :class:`~repro.core.errors.WireProtocolError`
-        when the worker reports its close failed (after the socket is closed
-        and the process reaped, so nothing leaks either way).
+        just reaped.  Every stage is bounded by ``timeout_s``: the close
+        exchange runs under it as a single-attempt deadline (a wedged worker
+        surfaces as :class:`~repro.core.errors.WorkerStalledError` instead
+        of blocking forever), and if ``process.join`` then expires the worker
+        is SIGKILLed and reaped — a hung worker can never stall
+        ``ParallelClusterService.close()`` past its budget.  Raises
+        :class:`~repro.core.errors.WireProtocolError` when the worker reports
+        its close failed, or the stall/death error when the exchange could
+        not complete (in every case after the socket is closed and the
+        process reaped, so nothing leaks either way).
         """
         if self._closed:
             return
@@ -502,14 +787,13 @@ class RemoteShard:
         try:
             if not self._dead and self.process is not None and self.process.is_alive():
                 try:
-                    self._send(wire.FRAME_CONTROL_REQUEST, wire.encode_control({"op": "close"}))
-                    reply = wire.decode_control(self._recv(wire.FRAME_CONTROL_RESPONSE))
+                    reply = self._control({"op": "close"}, timeout_s=timeout_s, attempts=1)
                     if not reply.get("ok"):
                         failure = WireProtocolError(
                             f"shard {self.shard_id!r} failed to close cleanly: "
                             f"{reply.get('error')}"
                         )
-                except (WorkerDiedError, WireProtocolError) as error:
+                except (DeviceFailedError, WireProtocolError) as error:
                     failure = failure or error
         finally:
             self._closed = True
@@ -521,9 +805,13 @@ class RemoteShard:
                 self._sock = None
             if self.process is not None:
                 self.process.join(timeout=timeout_s)
-                if self.process.is_alive():  # pragma: no cover - stuck worker
+                if self.process.is_alive():
+                    # Escalate: a worker that ignored (or never saw) the close
+                    # and outlived its join budget is killed and reaped.
+                    # SIGKILL works on stopped processes too, so even a
+                    # SIGSTOP-frozen worker cannot leak past here.
                     self.process.kill()
-                    self.process.join(timeout=timeout_s)
+                    self.process.join()
         if failure is not None:
             raise failure
 
@@ -549,15 +837,65 @@ class ParallelBatchExecutor(BatchExecutor):
     Managed mode is required (a live view must drive failover): a worker
     death has to be survivable, and only the managed re-route machinery can
     move its slots to another replica.
+
+    With ``hedge_delay_ms`` set and ``replication_factor >= 2``, all-lookup
+    sub-batches are *hedged*: the gather half waits only the hedge window
+    for the primary's response, and on a miss abandons it (without marking
+    the shard failed — slow is not dead) and re-dispatches the lookups to
+    the next untried live replica through the normal re-route machinery.
+    The abandoned response is discarded by sequence number when it finally
+    arrives.  Only groups where every slot has such an alternative are
+    hedged, so a hedge can never manufacture a
+    :class:`~repro.core.errors.ShardUnavailableError`.
     """
 
-    def __init__(self, *args, **kwargs) -> None:
+    def __init__(
+        self,
+        *args,
+        hedge_delay_ms: Optional[float] = None,
+        on_rpc_event: Optional[Callable[..., None]] = None,
+        **kwargs,
+    ) -> None:
         super().__init__(*args, **kwargs)
         if not self.managed:
             raise ConfigurationError(
                 "ParallelBatchExecutor requires managed mode (an is_live hook); "
                 "stand-alone batches belong on the in-process BatchExecutor"
             )
+        if hedge_delay_ms is not None and hedge_delay_ms <= 0:
+            raise ConfigurationError("hedge_delay_ms must be positive (or None to disable)")
+        self.hedge_delay_ms = hedge_delay_ms
+        self._on_rpc_event = on_rpc_event
+
+    def _rpc_event(self, kind: str, **attributes) -> None:
+        if self._on_rpc_event is not None:
+            self._on_rpc_event(kind, **attributes)
+
+    def _hedgeable(self, slots: List[_Slot]) -> bool:
+        """Whether one sub-batch qualifies for a hedged read.
+
+        Requires: hedging enabled, RF >= 2, every slot a lookup (writes are
+        never hedged — a duplicated write still lands, but hedging buys
+        nothing and doubles device work), and every slot having at least one
+        live, untried replica to fail over to.
+        """
+        if self.hedge_delay_ms is None or self.replication_factor < 2:
+            return False
+        for slot in slots:
+            if slot.operation.kind is not OpKind.LOOKUP:
+                return False
+            if self._targets_for is not None:
+                replicas = self._targets_for(slot.key, slot.operation.kind)
+            else:
+                replicas = self.router.preference_list(slot.key, self.replication_factor)
+            if not any(
+                replica not in slot.attempted
+                and replica in self.shards
+                and self._is_live(replica)
+                for replica in replicas
+            ):
+                return False
+        return True
 
     def _dispatch_round(
         self, groups: Dict[str, List[_Slot]], batch: BatchResult
@@ -590,7 +928,19 @@ class ParallelBatchExecutor(BatchExecutor):
         # being folded in — that overlap is the whole point.
         for shard_id, shard, slots, stats, started_ms in in_flight:
             try:
-                results, error_code, message, busy_ms = shard.recv_batch()
+                if self._hedgeable(slots):
+                    try:
+                        results, error_code, message, busy_ms = shard.recv_batch(
+                            probe_timeout_ms=self.hedge_delay_ms, probe=True
+                        )
+                    except WorkerStalledError:
+                        # Slow, not dead: abandon the primary without marking
+                        # it failed and reroute the lookups to a replica.
+                        self._rpc_event("hedge_fired", shard=shard_id, operations=len(slots))
+                        failed_slots.extend(slots)
+                        continue
+                else:
+                    results, error_code, message, busy_ms = shard.recv_batch()
             except DeviceFailedError:
                 # Killed mid-batch: no response, so none of its slots ran.
                 self._fail_group(shard_id, slots, batch, failed_slots, missed_writes=True)
@@ -666,7 +1016,17 @@ class ParallelClusterService(ClusterService):
     shards.
     """
 
-    def __init__(self, *args, start_method: str = "fork", **kwargs) -> None:
+    def __init__(
+        self,
+        *args,
+        start_method: str = "fork",
+        request_deadline_ms: float = DEFAULT_REQUEST_DEADLINE_MS,
+        retry_limit: int = DEFAULT_RETRY_LIMIT,
+        retry_backoff_ms: float = DEFAULT_RETRY_BACKOFF_MS,
+        retry_backoff_cap_ms: float = DEFAULT_RETRY_BACKOFF_CAP_MS,
+        hedge_delay_ms: Optional[float] = None,
+        **kwargs,
+    ) -> None:
         if start_method != "fork":
             raise ConfigurationError(
                 "process-per-shard workers require the fork start method "
@@ -677,6 +1037,14 @@ class ParallelClusterService(ClusterService):
                 "this platform cannot fork; use the in-process ClusterService"
             )
         self._ctx = multiprocessing.get_context("fork")
+        # RPC-resilience knobs, consumed by _build_shard/_build_executor —
+        # which run during super().__init__, so they must be set first.
+        self.request_deadline_ms = float(request_deadline_ms)
+        self.retry_limit = int(retry_limit)
+        self.retry_backoff_ms = float(retry_backoff_ms)
+        self.retry_backoff_cap_ms = float(retry_backoff_cap_ms)
+        self.hedge_delay_ms = hedge_delay_ms
+        self._chaos: Optional[Tuple[ChaosSchedule, int]] = None
         super().__init__(*args, **kwargs)
 
     # -- Hook overrides ----------------------------------------------------------------
@@ -693,7 +1061,14 @@ class ParallelClusterService(ClusterService):
             data_path=data_path,
             eviction_policy=self._eviction_policy,
             keep_latency_samples=self._keep_latency_samples,
+            request_deadline_ms=self.request_deadline_ms,
+            retry_limit=self.retry_limit,
+            retry_backoff_ms=self.retry_backoff_ms,
+            retry_backoff_cap_ms=self.retry_backoff_cap_ms,
         )
+        shard.on_event = self._shard_event_hook(shard_id)
+        if self._chaos is not None:
+            self._wrap_with_chaos(shard_id, shard)
         self.shards[shard_id] = shard
         self.clock.add(shard.clock)
         return shard
@@ -710,7 +1085,65 @@ class ParallelClusterService(ClusterService):
             on_shard_error=self.record_shard_error,
             on_missed_write=self._record_hint,
             targets_for=self._op_replicas,
+            hedge_delay_ms=self.hedge_delay_ms,
+            on_rpc_event=self._record_rpc_event,
         )
+
+    # -- RPC-resilience events ---------------------------------------------------------
+
+    def _shard_event_hook(self, shard_id: str) -> Callable[..., None]:
+        def hook(kind: str, **attributes) -> None:
+            self._record_rpc_event(kind, shard=shard_id, **attributes)
+
+        return hook
+
+    def _record_rpc_event(self, kind: str, shard: str, **attributes) -> None:
+        """One RPC-resilience event (``chaos_injected`` / ``rpc_timeout`` /
+        ``rpc_retry`` / ``hedge_fired`` / ``worker_stalled``): logged to the
+        EventLog and counted per shard.  Counters are created lazily, so a
+        fault-free run registers nothing — keeping the chaos-off telemetry
+        snapshot bit-identical to the in-process cluster's.
+        """
+        self.events.record(kind, shard=shard, **attributes)
+        if self.telemetry is not None:
+            self.telemetry.counter(f"rpc.{kind}").inc()
+            self.telemetry.counter(f"rpc.{kind}.{shard}").inc()
+
+    # -- Chaos injection ---------------------------------------------------------------
+
+    def _wrap_with_chaos(self, shard_id: str, shard: RemoteShard) -> None:
+        schedule, base_seed = self._chaos
+
+        def on_inject(fault: str, direction: str, frame: int) -> None:
+            self._record_rpc_event(
+                "chaos_injected", shard=shard_id, fault=fault, direction=direction, frame=frame
+            )
+
+        shard._sock = ChaosTransport(
+            shard._sock,
+            schedule,
+            seed=derive_seed(base_seed, shard_id),
+            on_inject=on_inject,
+        )
+
+    def install_chaos(self, schedule: ChaosSchedule, seed: int = 0) -> None:
+        """Slide a :class:`~repro.service.chaos.ChaosTransport` under every
+        worker socket (and under every future replacement worker's, until
+        :meth:`clear_chaos`).  Per-shard seeds derive deterministically from
+        ``seed``, so one integer replays one cluster-wide fault history.
+        """
+        self._chaos = (schedule, seed)
+        for shard_id, shard in self.shards.items():
+            if shard._sock is not None and not isinstance(shard._sock, ChaosTransport):
+                self._wrap_with_chaos(shard_id, shard)
+
+    def clear_chaos(self) -> None:
+        """Remove every chaos wrapper (buffered, un-faulted bytes included —
+        frames swallowed by a hang stay lost, exactly like a real outage)."""
+        self._chaos = None
+        for shard in self.shards.values():
+            if isinstance(shard._sock, ChaosTransport):
+                shard._sock = shard._sock.raw
 
     def _inject_fault(self, shard_id: str, mode: str, fault_kwargs: Dict[str, object]) -> None:
         self.shards[shard_id].inject_fault(mode, fault_kwargs)
@@ -757,7 +1190,8 @@ class ParallelClusterService(ClusterService):
         for shard_id, shard in self.shards.items():
             if shard.alive or shard._closed or shard_id in self._down:
                 continue
-            self.events.record("worker_died", shard=shard_id, pid=shard.pid)
+            exitcode = shard.process.exitcode if shard.process is not None else None
+            self.events.record("worker_died", shard=shard_id, pid=shard.pid, exitcode=exitcode)
             while shard_id not in self._down:
                 self.record_shard_error(shard_id)
             died.append(shard_id)

@@ -4,11 +4,18 @@ The process-per-shard deployment (:mod:`repro.service.parallel`) puts each
 shard's CLAM behind a socket; this module defines the only bytes that cross
 that boundary.  Every frame is::
 
-    <u32 length> <u8 version> <u8 frame-type> <payload...>
+    <u32 length> <u32 crc32> <u8 version> <u8 frame-type> <u32 seq> <payload...>
 
 with all integers little-endian and all simulated-time floats as IEEE-754
 doubles (``<d``), so clocks and latencies survive the round trip bit-exactly
 — the bit-identical results contract of the parallel cluster depends on it.
+The length prefix counts everything after itself (checksum, preamble, and
+payload); the CRC-32 covers everything after the checksum field, so a flipped
+bit anywhere in the version, type, sequence number, or payload surfaces as a
+typed :class:`CorruptFrameError` instead of a garbage decode.  The sequence
+number lets a request/response peer discard stale frames (duplicates injected
+by a lossy transport, or the late answer to a request it already gave up on)
+without desynchronising the stream.
 
 Frame types:
 
@@ -33,15 +40,20 @@ hinted handoff exactly like an in-process device crash) and
 :class:`~repro.core.errors.ShardUnavailableError`.  Malformed frames raise
 :class:`~repro.core.errors.WireProtocolError` subclasses:
 :class:`TruncatedFrameError` when the peer hangs up mid-frame (how a killed
-worker announces itself) and :class:`OversizedFrameError` when a length
-prefix exceeds :data:`MAX_FRAME_BYTES` (corruption or a desynchronised
-stream must not turn into an attempted multi-gigabyte allocation).
+worker announces itself), :class:`OversizedFrameError` when a length prefix
+exceeds :data:`MAX_FRAME_BYTES` (corruption or a desynchronised stream must
+not turn into an attempted multi-gigabyte allocation), and
+:class:`CorruptFrameError` when a frame's CRC-32 does not match its bytes.
+The payload decoders are bounds-checked end to end: any flip or truncation a
+fuzzer can produce decodes to a typed ``WireProtocolError`` subclass, never
+a raw ``struct.error`` or ``UnicodeDecodeError``.
 """
 
 from __future__ import annotations
 
 import json
 import struct
+import zlib
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.errors import DeviceFailedError, ShardUnavailableError, WireProtocolError
@@ -60,6 +72,7 @@ __all__ = [
     "FRAME_CONTROL_RESPONSE",
     "MAX_FRAME_BYTES",
     "WIRE_VERSION",
+    "CorruptFrameError",
     "OversizedFrameError",
     "TruncatedFrameError",
     "decode_batch_request",
@@ -74,7 +87,8 @@ __all__ = [
 ]
 
 #: Protocol version carried in every frame; bumped on any layout change.
-WIRE_VERSION = 1
+#: v2 added the CRC-32 checksum and the per-frame sequence number.
+WIRE_VERSION = 2
 
 #: Hard ceiling on one frame's body.  Generously above any real batch (the
 #: executor sub-batches per shard) while small enough that a corrupt length
@@ -120,7 +134,9 @@ _RESULT_INSERT = 1
 _RESULT_DELETE = 2
 
 _HEADER = struct.Struct("<I")
-_PREAMBLE = struct.Struct("<BB")
+_CRC = struct.Struct("<I")
+#: version byte, frame-type byte, u32 sequence number.
+_PREAMBLE = struct.Struct("<BBI")
 
 ResultRecord = Union[LookupResult, InsertResult, DeleteResult]
 
@@ -131,6 +147,14 @@ class TruncatedFrameError(WireProtocolError):
 
 class OversizedFrameError(WireProtocolError):
     """Raised when a length prefix exceeds :data:`MAX_FRAME_BYTES`."""
+
+
+class CorruptFrameError(WireProtocolError):
+    """Raised when a frame's CRC-32 does not match its bytes.
+
+    Framing itself is intact (the length prefix was sane and the full body
+    arrived), so the stream is still synchronised: the receiver may discard
+    the frame and keep serving, and a request/response client may retry."""
 
 
 def raise_for_code(code: int, message: str):
@@ -147,12 +171,13 @@ def raise_for_code(code: int, message: str):
 # -- Framing ------------------------------------------------------------------------
 
 
-def send_frame(sock, frame_type: int, payload: bytes) -> None:
-    """Write one length-prefixed frame to a connected socket."""
-    body_len = len(payload) + _PREAMBLE.size
+def send_frame(sock, frame_type: int, payload: bytes, seq: int = 0) -> None:
+    """Write one length-prefixed, checksummed frame to a connected socket."""
+    body_len = len(payload) + _CRC.size + _PREAMBLE.size
     if body_len > MAX_FRAME_BYTES:
         raise OversizedFrameError(f"refusing to send {body_len}-byte frame (max {MAX_FRAME_BYTES})")
-    sock.sendall(_HEADER.pack(body_len) + _PREAMBLE.pack(WIRE_VERSION, frame_type) + payload)
+    covered = _PREAMBLE.pack(WIRE_VERSION, frame_type, seq) + payload
+    sock.sendall(_HEADER.pack(body_len) + _CRC.pack(zlib.crc32(covered)) + covered)
 
 
 def _recv_exact(sock, size: int) -> bytes:
@@ -168,26 +193,67 @@ def _recv_exact(sock, size: int) -> bytes:
     return b"".join(chunks)
 
 
-def recv_frame(sock) -> Tuple[int, bytes]:
-    """Read one frame; returns ``(frame_type, payload)``.
+def recv_frame(sock) -> Tuple[int, int, bytes]:
+    """Read one frame; returns ``(frame_type, seq, payload)``.
 
     Raises :class:`TruncatedFrameError` on EOF mid-frame (including EOF after
     a partial length prefix), :class:`OversizedFrameError` on a length prefix
-    past :data:`MAX_FRAME_BYTES`, and :class:`WireProtocolError` on a version
-    or frame-type byte this implementation does not speak.
+    past :data:`MAX_FRAME_BYTES`, :class:`CorruptFrameError` on a CRC-32
+    mismatch (checked before the version and type bytes, which the checksum
+    covers), and :class:`WireProtocolError` on a version or frame-type byte
+    this implementation does not speak.
     """
     (body_len,) = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
     if body_len > MAX_FRAME_BYTES:
         raise OversizedFrameError(f"frame length {body_len} exceeds limit {MAX_FRAME_BYTES}")
-    if body_len < _PREAMBLE.size:
+    if body_len < _CRC.size + _PREAMBLE.size:
         raise WireProtocolError(f"frame body of {body_len} bytes is too short for a preamble")
     body = _recv_exact(sock, body_len)
-    version, frame_type = _PREAMBLE.unpack_from(body)
+    (expected_crc,) = _CRC.unpack_from(body)
+    covered = body[_CRC.size :]
+    actual_crc = zlib.crc32(covered)
+    if actual_crc != expected_crc:
+        raise CorruptFrameError(
+            f"frame CRC mismatch (expected {expected_crc:#010x}, computed {actual_crc:#010x})"
+        )
+    version, frame_type, seq = _PREAMBLE.unpack_from(covered)
     if version != WIRE_VERSION:
         raise WireProtocolError(f"unsupported wire version {version} (speaking {WIRE_VERSION})")
     if frame_type not in _FRAME_TYPES:
         raise WireProtocolError(f"unknown frame type {frame_type}")
-    return frame_type, body[_PREAMBLE.size :]
+    return frame_type, seq, covered[_PREAMBLE.size :]
+
+
+# -- Bounds-checked decoding helpers ------------------------------------------------
+
+
+def _unpack(fmt: struct.Struct, payload: bytes, offset: int) -> tuple:
+    """``Struct.unpack_from`` that raises a typed error on a short buffer."""
+    try:
+        return fmt.unpack_from(payload, offset)
+    except struct.error as error:
+        raise WireProtocolError(f"frame payload truncated: {error}") from error
+
+
+def _take(payload: bytes, offset: int, size: int) -> Tuple[bytes, int]:
+    """Slice ``size`` bytes at ``offset``, raising if the payload is short."""
+    end = offset + size
+    if size < 0 or end > len(payload):
+        raise WireProtocolError(
+            f"frame payload truncated: wanted {size} bytes at offset {offset}, "
+            f"have {len(payload)} total"
+        )
+    return bytes(payload[offset:end]), end
+
+
+_BATCH_REQ_HEAD = struct.Struct("<dI")
+_OP_CODE = struct.Struct("<B")
+_VALUE_LEN = struct.Struct("<I")
+_RESULT_HEAD = struct.Struct("<BI")
+_LOOKUP_TAIL = struct.Struct("<BIdBIII")
+_INSERT_TAIL = struct.Struct("<dBdIII")
+_DELETE_TAIL = struct.Struct("<dB")
+_BATCH_RESP_HEAD = struct.Struct("<ddBII")
 
 
 # -- Batch requests -----------------------------------------------------------------
@@ -202,31 +268,32 @@ def _encode_key(key) -> bytes:
 
 def encode_batch_request(advance_ms: float, operations: Sequence[Tuple[OpKind, object, bytes]]):
     """Encode ``(kind, key, value)`` triples plus the pending clock advance."""
-    parts = [struct.pack("<dI", advance_ms, len(operations))]
+    parts = [_BATCH_REQ_HEAD.pack(advance_ms, len(operations))]
     for kind, key, value in operations:
         value_bytes = bytes(value)
-        parts.append(struct.pack("<B", _OP_CODES[kind]))
+        parts.append(_OP_CODE.pack(_OP_CODES[kind]))
         parts.append(_encode_key(key))
-        parts.append(struct.pack("<I", len(value_bytes)))
+        parts.append(_VALUE_LEN.pack(len(value_bytes)))
         parts.append(value_bytes)
     return b"".join(parts)
 
 
 def decode_batch_request(payload: bytes) -> Tuple[float, List[Tuple[OpKind, KeyDigest, bytes]]]:
     """Inverse of :func:`encode_batch_request`."""
-    advance_ms, count = struct.unpack_from("<dI", payload)
-    offset = 12
+    advance_ms, count = _unpack(_BATCH_REQ_HEAD, payload, 0)
+    offset = _BATCH_REQ_HEAD.size
     operations: List[Tuple[OpKind, KeyDigest, bytes]] = []
     for _ in range(count):
-        (op_code,) = struct.unpack_from("<B", payload, offset)
+        (op_code,) = _unpack(_OP_CODE, payload, offset)
         kind = _CODE_OPS.get(op_code)
         if kind is None:
             raise WireProtocolError(f"unknown operation code {op_code}")
-        digest, offset = KeyDigest.from_wire(payload, offset + 1)
-        (value_len,) = struct.unpack_from("<I", payload, offset)
-        offset += 4
-        value = bytes(payload[offset : offset + value_len])
-        offset += value_len
+        try:
+            digest, offset = KeyDigest.from_wire(payload, offset + 1)
+        except (struct.error, ValueError) as error:
+            raise WireProtocolError(f"malformed key digest: {error}") from error
+        (value_len,) = _unpack(_VALUE_LEN, payload, offset)
+        value, offset = _take(payload, offset + _VALUE_LEN.size, value_len)
         operations.append((kind, digest, value))
     return advance_ms, operations
 
@@ -237,9 +304,8 @@ def decode_batch_request(payload: bytes) -> Tuple[float, List[Tuple[OpKind, KeyD
 def _encode_result(result: ResultRecord) -> bytes:
     if isinstance(result, LookupResult):
         value = result.value
-        head = struct.pack("<BI", _RESULT_LOOKUP, len(result.key)) + result.key
-        tail = struct.pack(
-            "<BIdBIII",
+        head = _RESULT_HEAD.pack(_RESULT_LOOKUP, len(result.key)) + result.key
+        tail = _LOOKUP_TAIL.pack(
             1 if value is not None else 0,
             len(value) if value is not None else 0,
             result.latency_ms,
@@ -251,10 +317,9 @@ def _encode_result(result: ResultRecord) -> bytes:
         return head + tail + (value if value is not None else b"")
     if isinstance(result, InsertResult):
         return (
-            struct.pack("<BI", _RESULT_INSERT, len(result.key))
+            _RESULT_HEAD.pack(_RESULT_INSERT, len(result.key))
             + result.key
-            + struct.pack(
-                "<dBdIII",
+            + _INSERT_TAIL.pack(
                 result.latency_ms,
                 1 if result.flushed else 0,
                 result.flush_latency_ms,
@@ -265,27 +330,24 @@ def _encode_result(result: ResultRecord) -> bytes:
         )
     if isinstance(result, DeleteResult):
         return (
-            struct.pack("<BI", _RESULT_DELETE, len(result.key))
+            _RESULT_HEAD.pack(_RESULT_DELETE, len(result.key))
             + result.key
-            + struct.pack("<dB", result.latency_ms, 1 if result.removed_from_buffer else 0)
+            + _DELETE_TAIL.pack(result.latency_ms, 1 if result.removed_from_buffer else 0)
         )
     raise WireProtocolError(f"cannot serialise result type {type(result).__name__}")
 
 
 def _decode_result(payload: bytes, offset: int) -> Tuple[ResultRecord, int]:
-    record_type, key_len = struct.unpack_from("<BI", payload, offset)
-    offset += 5
-    key = bytes(payload[offset : offset + key_len])
-    offset += key_len
+    record_type, key_len = _unpack(_RESULT_HEAD, payload, offset)
+    key, offset = _take(payload, offset + _RESULT_HEAD.size, key_len)
     if record_type == _RESULT_LOOKUP:
         has_value, value_len, latency_ms, served_code, flash_reads, incarnations, fp_reads = (
-            struct.unpack_from("<BIdBIII", payload, offset)
+            _unpack(_LOOKUP_TAIL, payload, offset)
         )
-        offset += struct.calcsize("<BIdBIII")
+        offset += _LOOKUP_TAIL.size
         value: Optional[bytes] = None
         if has_value:
-            value = bytes(payload[offset : offset + value_len])
-            offset += value_len
+            value, offset = _take(payload, offset, value_len)
         served = _CODE_SERVED.get(served_code)
         if served is None:
             raise WireProtocolError(f"unknown served-from code {served_code}")
@@ -294,17 +356,17 @@ def _decode_result(payload: bytes, offset: int) -> Tuple[ResultRecord, int]:
             offset,
         )
     if record_type == _RESULT_INSERT:
-        latency_ms, flushed, flush_latency_ms, tried, writes, reads = struct.unpack_from(
-            "<dBdIII", payload, offset
+        latency_ms, flushed, flush_latency_ms, tried, writes, reads = _unpack(
+            _INSERT_TAIL, payload, offset
         )
-        offset += struct.calcsize("<dBdIII")
+        offset += _INSERT_TAIL.size
         return (
             InsertResult(key, latency_ms, bool(flushed), flush_latency_ms, tried, writes, reads),
             offset,
         )
     if record_type == _RESULT_DELETE:
-        latency_ms, removed = struct.unpack_from("<dB", payload, offset)
-        offset += struct.calcsize("<dB")
+        latency_ms, removed = _unpack(_DELETE_TAIL, payload, offset)
+        offset += _DELETE_TAIL.size
         return DeleteResult(key, latency_ms, bool(removed)), offset
     raise WireProtocolError(f"unknown result record type {record_type}")
 
@@ -319,7 +381,7 @@ def encode_batch_response(
     """Encode results (request order, truncated at the first failure) + status."""
     message_bytes = error_message.encode("utf-8")
     parts = [
-        struct.pack("<ddBII", clock_ms, busy_ms, error_code, len(message_bytes), len(results)),
+        _BATCH_RESP_HEAD.pack(clock_ms, busy_ms, error_code, len(message_bytes), len(results)),
         message_bytes,
     ]
     for result in results:
@@ -332,10 +394,14 @@ def decode_batch_response(payload: bytes) -> Tuple[List[ResultRecord], int, str,
 
     Returns ``(results, error_code, error_message, clock_ms, busy_ms)``.
     """
-    clock_ms, busy_ms, error_code, message_len, result_count = struct.unpack_from("<ddBII", payload)
-    offset = struct.calcsize("<ddBII")
-    message = bytes(payload[offset : offset + message_len]).decode("utf-8")
-    offset += message_len
+    clock_ms, busy_ms, error_code, message_len, result_count = _unpack(
+        _BATCH_RESP_HEAD, payload, 0
+    )
+    message_bytes, offset = _take(payload, _BATCH_RESP_HEAD.size, message_len)
+    try:
+        message = message_bytes.decode("utf-8")
+    except UnicodeDecodeError as error:
+        raise WireProtocolError(f"malformed error message: {error}") from error
     results: List[ResultRecord] = []
     for _ in range(result_count):
         result, offset = _decode_result(payload, offset)

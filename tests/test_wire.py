@@ -2,8 +2,11 @@
 
 import socket
 import struct
+import zlib
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.core.errors import (
     DeviceFailedError,
@@ -24,26 +27,57 @@ def pair():
     right.close()
 
 
+def craft_frame(version: int, frame_type: int, seq: int, payload: bytes) -> bytes:
+    """A raw v2 frame with a *valid* CRC, for byte-level tampering tests."""
+    covered = struct.pack("<BBI", version, frame_type, seq) + payload
+    return struct.pack("<I", len(covered) + 4) + struct.pack("<I", zlib.crc32(covered)) + covered
+
+
+class ByteSock:
+    """An in-memory socket double: serves a byte string, then EOF.
+
+    Lets the fuzz tests run thousands of ``recv_frame`` calls without a
+    socketpair per mutation."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = bytes(data)
+        self._pos = 0
+
+    def recv(self, size: int) -> bytes:
+        chunk = self._data[self._pos : self._pos + size]
+        self._pos += len(chunk)
+        return chunk
+
+
 class TestFraming:
     def test_roundtrip(self, pair):
         left, right = pair
-        wire.send_frame(left, wire.FRAME_CONTROL_REQUEST, b"payload-bytes")
-        frame_type, payload = wire.recv_frame(right)
+        wire.send_frame(left, wire.FRAME_CONTROL_REQUEST, b"payload-bytes", seq=42)
+        frame_type, seq, payload = wire.recv_frame(right)
         assert frame_type == wire.FRAME_CONTROL_REQUEST
+        assert seq == 42
         assert payload == b"payload-bytes"
+
+    def test_default_seq_is_zero(self, pair):
+        left, right = pair
+        wire.send_frame(left, wire.FRAME_CONTROL_REQUEST, b"")
+        _, seq, _ = wire.recv_frame(right)
+        assert seq == 0
 
     def test_multiple_frames_stay_delimited(self, pair):
         left, right = pair
         for index in range(5):
-            wire.send_frame(left, wire.FRAME_BATCH_REQUEST, b"x" * index)
+            wire.send_frame(left, wire.FRAME_BATCH_REQUEST, b"x" * index, seq=index)
         for index in range(5):
-            _, payload = wire.recv_frame(right)
+            _, seq, payload = wire.recv_frame(right)
+            assert seq == index
             assert payload == b"x" * index
 
     def test_truncated_frame_raises_typed_error(self, pair):
         """A peer dying mid-frame surfaces as TruncatedFrameError, not a hang."""
         left, right = pair
-        full = struct.pack("<I", 100) + struct.pack("<BB", wire.WIRE_VERSION, 1) + b"y" * 98
+        full = craft_frame(wire.WIRE_VERSION, wire.FRAME_BATCH_REQUEST, 0, b"y" * 90)
+        assert struct.unpack_from("<I", full)[0] == 100  # 10-byte overhead + payload
         left.sendall(full[:30])  # length promises 100 body bytes; send 26
         left.close()
         with pytest.raises(wire.TruncatedFrameError, match="26 of 100"):
@@ -74,15 +108,13 @@ class TestFraming:
 
     def test_wrong_version_rejected(self, pair):
         left, right = pair
-        body = struct.pack("<BB", wire.WIRE_VERSION + 1, wire.FRAME_BATCH_REQUEST)
-        left.sendall(struct.pack("<I", len(body)) + body)
+        left.sendall(craft_frame(wire.WIRE_VERSION + 1, wire.FRAME_BATCH_REQUEST, 0, b""))
         with pytest.raises(WireProtocolError, match="version"):
             wire.recv_frame(right)
 
     def test_unknown_frame_type_rejected(self, pair):
         left, right = pair
-        body = struct.pack("<BB", wire.WIRE_VERSION, 99)
-        left.sendall(struct.pack("<I", len(body)) + body)
+        left.sendall(craft_frame(wire.WIRE_VERSION, 99, 0, b""))
         with pytest.raises(WireProtocolError, match="frame type"):
             wire.recv_frame(right)
 
@@ -91,6 +123,163 @@ class TestFraming:
         left.sendall(struct.pack("<I", 1) + b"z")
         with pytest.raises(WireProtocolError, match="too short"):
             wire.recv_frame(right)
+
+    def test_corrupt_payload_raises_corrupt_frame_error(self, pair):
+        left, right = pair
+        frame = bytearray(craft_frame(wire.WIRE_VERSION, wire.FRAME_BATCH_REQUEST, 3, b"abcdef"))
+        frame[-2] ^= 0x10  # one bit, deep in the payload
+        left.sendall(bytes(frame))
+        with pytest.raises(wire.CorruptFrameError, match="CRC"):
+            wire.recv_frame(right)
+
+    def test_corrupt_preamble_is_crc_not_version_error(self, pair):
+        """The CRC covers the preamble, so a flipped version byte is reported
+        as corruption (retryable) rather than a version mismatch (fatal)."""
+        left, right = pair
+        frame = bytearray(craft_frame(wire.WIRE_VERSION, wire.FRAME_BATCH_REQUEST, 0, b"pp"))
+        frame[8] ^= 0x04  # the version byte (after 4-byte length + 4-byte crc)
+        left.sendall(bytes(frame))
+        with pytest.raises(wire.CorruptFrameError):
+            wire.recv_frame(right)
+
+    def test_corrupt_frame_error_is_wire_protocol_error(self):
+        assert issubclass(wire.CorruptFrameError, WireProtocolError)
+
+
+def _sample_frames():
+    """One realistic frame of every type, for the tamper/fuzz sweeps."""
+    digest = KeyDigest(b"fingerprint-xyz")
+    digest.digest(7)
+    request = wire.encode_batch_request(
+        1.25,
+        [
+            (OpKind.INSERT, digest, b"value-bytes"),
+            (OpKind.LOOKUP, b"plain-key", b""),
+            (OpKind.DELETE, KeyDigest(b"dead"), b""),
+        ],
+    )
+    response = wire.encode_batch_response(
+        [
+            LookupResult(b"k1", b"v1", 0.125, ServedFrom.BUFFER, 1, 2, 0),
+            InsertResult(b"k2", 0.25, flushed=True, flush_latency_ms=1.5),
+            DeleteResult(b"k3", 0.5, removed_from_buffer=True),
+        ],
+        wire.ERR_DEVICE_FAILED,
+        "DeviceFailedError: boom",
+        12.5,
+        3.25,
+    )
+    control = wire.encode_control({"op": "fault", "mode": "crash", "kwargs": {"n": 3}})
+    return [
+        (wire.FRAME_BATCH_REQUEST, request),
+        (wire.FRAME_BATCH_RESPONSE, response),
+        (wire.FRAME_CONTROL_REQUEST, control),
+        (wire.FRAME_CONTROL_RESPONSE, control),
+    ]
+
+
+class TestWireFuzz:
+    """Adversarial bytes must always surface as *typed* wire errors.
+
+    The contract under fuzz is: any single-byte flip or truncation, anywhere
+    in any frame type, decodes to a WireProtocolError subclass (or decodes
+    successfully when the flip lands in dead space) — never a raw
+    struct.error, UnicodeDecodeError, IndexError or MemoryError.
+    """
+
+    @pytest.mark.parametrize("frame_type,payload", _sample_frames())
+    def test_single_byte_flips_always_typed(self, frame_type, payload):
+        frame = craft_frame(wire.WIRE_VERSION, frame_type, 5, payload)
+        for position in range(len(frame)):
+            for mask in (0x01, 0x80, 0xFF):
+                mutated = bytearray(frame)
+                mutated[position] ^= mask
+                try:
+                    kind, _seq, decoded = wire.recv_frame(ByteSock(bytes(mutated)))
+                except WireProtocolError:
+                    continue  # typed: exactly what the contract demands
+                # A flip that still framed correctly must be caught (or be a
+                # no-op) by the payload decoders — also without raw errors.
+                try:
+                    if kind == wire.FRAME_BATCH_REQUEST:
+                        wire.decode_batch_request(decoded)
+                    elif kind == wire.FRAME_BATCH_RESPONSE:
+                        wire.decode_batch_response(decoded)
+                    else:
+                        wire.decode_control(decoded)
+                except WireProtocolError:
+                    pass
+
+    @pytest.mark.parametrize("frame_type,payload", _sample_frames())
+    def test_truncations_always_typed(self, frame_type, payload):
+        frame = craft_frame(wire.WIRE_VERSION, frame_type, 5, payload)
+        for cut in range(len(frame)):
+            with pytest.raises(WireProtocolError):
+                wire.recv_frame(ByteSock(frame[:cut]))
+
+    @pytest.mark.parametrize("frame_type,payload", _sample_frames())
+    def test_payload_mutations_never_raise_raw_errors(self, frame_type, payload):
+        """Even *past* the CRC (an attacker or a memory flip on the far side
+        of the checksum), the payload decoders are fully bounds-checked."""
+        decoders = {
+            wire.FRAME_BATCH_REQUEST: wire.decode_batch_request,
+            wire.FRAME_BATCH_RESPONSE: wire.decode_batch_response,
+            wire.FRAME_CONTROL_REQUEST: wire.decode_control,
+            wire.FRAME_CONTROL_RESPONSE: wire.decode_control,
+        }
+        decode = decoders[frame_type]
+        for cut in range(len(payload)):
+            try:
+                decode(payload[:cut])
+            except WireProtocolError:
+                pass
+        for position in range(len(payload)):
+            mutated = bytearray(payload)
+            mutated[position] ^= 0xFF
+            try:
+                decode(bytes(mutated))
+            except WireProtocolError:
+                pass
+
+
+class TestFramingProperties:
+    @given(
+        frame_type=st.sampled_from(
+            [
+                wire.FRAME_BATCH_REQUEST,
+                wire.FRAME_BATCH_RESPONSE,
+                wire.FRAME_CONTROL_REQUEST,
+                wire.FRAME_CONTROL_RESPONSE,
+            ]
+        ),
+        seq=st.integers(min_value=0, max_value=2**32 - 1),
+        payload=st.binary(max_size=512),
+    )
+    def test_crc_framing_roundtrip(self, frame_type, seq, payload):
+        """Every (type, seq, payload) survives the CRC framing bit-exactly."""
+        sent = []
+
+        class Capture:
+            def sendall(self, data):
+                sent.append(bytes(data))
+
+        wire.send_frame(Capture(), frame_type, payload, seq=seq)
+        assert len(sent) == 1  # one frame, one write (the chaos layer relies on it)
+        got_type, got_seq, got_payload = wire.recv_frame(ByteSock(sent[0]))
+        assert (got_type, got_seq, got_payload) == (frame_type, seq, payload)
+
+    @given(
+        payload=st.binary(max_size=128),
+        position=st.integers(min_value=0, max_value=10_000),
+        bit=st.integers(min_value=0, max_value=7),
+    )
+    def test_any_single_bit_flip_is_detected(self, payload, position, bit):
+        """CRC-32 detects every single-bit error; flips in the length prefix
+        fall out as truncation/oversize/short-body errors — all typed."""
+        frame = bytearray(craft_frame(wire.WIRE_VERSION, wire.FRAME_BATCH_REQUEST, 9, payload))
+        frame[position % len(frame)] ^= 1 << bit
+        with pytest.raises(WireProtocolError):
+            wire.recv_frame(ByteSock(bytes(frame)))
 
 
 class TestErrorCodes:
@@ -138,6 +327,11 @@ class TestBatchRequest:
         payload = struct.pack("<dI", 0.0, 1) + struct.pack("<B", 200)
         with pytest.raises(WireProtocolError, match="operation code"):
             wire.decode_batch_request(payload)
+
+    def test_truncated_value_rejected(self):
+        payload = wire.encode_batch_request(0.0, [(OpKind.INSERT, b"key", b"value")])
+        with pytest.raises(WireProtocolError, match="truncated"):
+            wire.decode_batch_request(payload[:-2])
 
 
 class TestBatchResponse:
@@ -198,6 +392,12 @@ class TestBatchResponse:
         clock_ms, busy_ms, code, msg_len, _ = struct.unpack_from("<ddBII", payload)
         broken = struct.pack("<ddBII", clock_ms, busy_ms, code, msg_len, 1) + payload[header:]
         with pytest.raises(WireProtocolError, match="record type"):
+            wire.decode_batch_response(broken)
+
+    def test_invalid_utf8_message_rejected(self):
+        payload = wire.encode_batch_response([], wire.ERR_UNEXPECTED, "abc", 0.0, 0.0)
+        broken = payload.replace(b"abc", b"\xff\xfe\xff")
+        with pytest.raises(WireProtocolError, match="message"):
             wire.decode_batch_response(broken)
 
 
